@@ -1,0 +1,56 @@
+"""Ablation: heap FINDMIN (Section 2.1.1) vs the paper's linear scan.
+
+The paper proves O(log B) per-item updates with the merge-key heap but
+ran its own experiments with the O(B) scan (footnote 4).  This ablation
+quantifies the crossover: identical errors, diverging per-item cost as B
+grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.min_merge import MinMergeHistogram
+from repro.data import brownian
+from repro.harness.experiments import ExperimentSeries
+
+
+def _sweep(values, bucket_sweep) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="ablation-findmin",
+        title="Ablation: FINDMIN heap vs linear scan (seconds to ingest)",
+        x="buckets",
+        columns=["buckets", "heap-seconds", "linear-seconds",
+                 "heap-error", "linear-error"],
+    )
+    for buckets in bucket_sweep:
+        row = {"buckets": buckets}
+        for mode, key in (("heap", "heap"), ("linear", "linear")):
+            algo = MinMergeHistogram(buckets=buckets, findmin=mode)
+            start = time.perf_counter()
+            algo.extend(values)
+            row[f"{key}-seconds"] = time.perf_counter() - start
+            row[f"{key}-error"] = algo.error
+        series.rows.append(row)
+    return series
+
+
+def test_findmin_ablation(benchmark, paper_scale, save_series):
+    n = 16384 if paper_scale else 4096
+    sweep = (16, 64, 256) if paper_scale else (16, 64, 128)
+    values = brownian(n)
+    series = benchmark.pedantic(
+        lambda: _sweep(values, sweep), rounds=1, iterations=1
+    )
+    text = save_series("ablation_findmin", series)
+    print("\n" + text)
+    from repro.offline.optimal import optimal_error
+
+    for row in series.rows:
+        # Both variants satisfy the same (1, 2) guarantee.
+        best = optimal_error(values, row["buckets"])
+        assert row["heap-error"] <= best + 1e-9
+        assert row["linear-error"] <= best + 1e-9
+    # At the largest B the heap wins on time.
+    last = series.rows[-1]
+    assert last["heap-seconds"] < last["linear-seconds"]

@@ -1,0 +1,59 @@
+"""Ablation: the Section 3.1 approximate-hull size cap for PWL buckets.
+
+Sweeps the kernel epsilon of PWL MIN-MERGE between exact hulls and very
+coarse kernels, measuring summary error and memory.  The workload is a
+smooth quantized sinusoid: every bucket covers a convex arc, so the exact
+hull grows with the bucket and the kernel genuinely has something to cap
+(on jagged data the hulls stay tiny and the cap never engages -- which is
+itself a finding the throughput numbers already reflect).
+
+Expected shape: memory falls steeply with coarser kernels while the error
+moves by at most ~1/(1 - eps) -- property (3) in action.
+"""
+
+from __future__ import annotations
+
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.data.generators import sine_wave
+from repro.data.quantize import quantize_to_universe
+from repro.harness.experiments import ExperimentSeries
+
+
+def _sweep(values, epsilons) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="ablation-hull-kernel",
+        title="Ablation: PWL MIN-MERGE hull kernel epsilon (smooth data)",
+        x="hull-epsilon",
+        columns=["hull-epsilon", "error", "memory-bytes"],
+    )
+    for eps in epsilons:
+        algo = PwlMinMergeHistogram(buckets=16, hull_epsilon=eps)
+        algo.extend(values)
+        series.rows.append(
+            {
+                "hull-epsilon": eps if eps is not None else 0.0,
+                "error": algo.error,
+                "memory-bytes": algo.memory_bytes(),
+            }
+        )
+    return series
+
+
+def test_hull_kernel_ablation(benchmark, paper_scale, save_series):
+    n = 16384 if paper_scale else 8192
+    values = quantize_to_universe(sine_wave(n, periods=6.0), 1 << 15)
+    epsilons = (None, 0.05, 0.1, 0.2, 0.4)
+    series = benchmark.pedantic(
+        lambda: _sweep(values, epsilons), rounds=1, iterations=1
+    )
+    text = save_series("ablation_hull_kernel", series)
+    print("\n" + text)
+    exact = series.rows[0]
+    for row in series.rows[1:]:
+        eps = row["hull-epsilon"]
+        # Property (3): each bucket's measured width is within (1 - eps)
+        # of exact, so the summary error stays in a narrow band.
+        assert row["error"] <= exact["error"] / (1.0 - eps) * 1.25 + 1e-9
+        assert row["memory-bytes"] <= exact["memory-bytes"] * 1.05
+    # The coarsest kernel must show a real memory saving on this workload.
+    assert series.rows[-1]["memory-bytes"] < 0.6 * exact["memory-bytes"]

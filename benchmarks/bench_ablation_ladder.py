@@ -1,0 +1,66 @@
+"""Ablation: the exact 0 / 0.5 ladder levels (DESIGN.md item 5).
+
+The paper's ladder starts at 1; this library prepends exact levels 0 and
+1/2 so that small optima keep the (1 + eps) factor.  The ablation runs
+MIN-INCREMENT with and without the exact levels on a workload engineered
+to have small per-window optima (long plateaus with unit jitter), and on
+a generic random walk where the levels are irrelevant.
+"""
+
+from __future__ import annotations
+
+from repro.core.min_increment import MinIncrementHistogram
+from repro.data import brownian
+from repro.data.generators import step_function
+from repro.data.quantize import quantize_to_universe
+from repro.harness.experiments import ExperimentSeries
+from repro.offline.optimal import optimal_error
+
+UNIVERSE = 1 << 15
+EPSILON = 0.2
+
+
+def _run(values, buckets, include_zero):
+    algo = MinIncrementHistogram(
+        buckets=buckets, epsilon=EPSILON, universe=UNIVERSE,
+        include_zero_level=include_zero,
+    )
+    algo.extend(values)
+    return algo
+
+
+def _sweep() -> ExperimentSeries:
+    plateaus = step_function(4096, seed=3, steps=24, low=0, high=100)
+    # Quantize plateaus coarsely so the optimal 32-bucket error is tiny.
+    plateau_values = quantize_to_universe(plateaus, 64)
+    walk_values = brownian(4096)
+    series = ExperimentSeries(
+        name="ablation-ladder",
+        title="Ablation: exact 0/0.5 ladder levels (B=32, eps=0.2)",
+        x="workload",
+        columns=["workload", "optimal", "with-exact-levels", "paper-ladder"],
+    )
+    for name, values in (("plateaus", plateau_values), ("brownian", walk_values)):
+        series.rows.append(
+            {
+                "workload": name,
+                "optimal": optimal_error(values, 32),
+                "with-exact-levels": _run(values, 32, True).error,
+                "paper-ladder": _run(values, 32, False).error,
+            }
+        )
+    return series
+
+
+def test_ladder_ablation(benchmark, save_series):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = save_series("ablation_ladder", series)
+    print("\n" + text)
+    plateaus, walk = series.rows
+    # On plateau data the optimum is 0; only the exact levels reach it.
+    assert plateaus["optimal"] == 0.0
+    assert plateaus["with-exact-levels"] == 0.0
+    assert plateaus["paper-ladder"] >= 0.5
+    # On generic data both ladders answer identically (within a level).
+    assert walk["with-exact-levels"] <= walk["paper-ladder"] + 1e-9
+    assert walk["paper-ladder"] <= 1.2 * walk["optimal"] + 1e-9

@@ -1,0 +1,29 @@
+"""Figure 5: memory usage as a function of the histogram size B.
+
+Paper setting: 16384 points from Dow-Jones, Merced and Brownian;
+B in [16, 128]; eps = 0.2.  Expected shape: MIN-MERGE and MIN-INCREMENT
+grow ~linearly in B and sit two or more orders of magnitude below REHIST,
+whose breakpoint tables grow ~B^2.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig5_memory_vs_buckets
+
+
+def test_fig5_memory_vs_buckets(benchmark, paper_scale, save_series):
+    series = benchmark.pedantic(
+        lambda: fig5_memory_vs_buckets(paper_scale=paper_scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series("fig5_memory_vs_b", series)
+    print("\n" + text)
+    for one in series:
+        for row in one.rows:
+            ours = max(row["min-merge"], row["min-increment"])
+            assert row["rehist"] > 3 * ours, (one.name, row)
+        first, last = one.rows[0], one.rows[-1]
+        growth = last["buckets"] / first["buckets"]
+        # MIN-MERGE is ~linear in B.
+        assert last["min-merge"] <= 1.5 * growth * first["min-merge"]

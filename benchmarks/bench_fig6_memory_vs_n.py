@@ -1,0 +1,29 @@
+"""Figure 6: memory usage as a function of the stream size n.
+
+Paper setting: Brownian data, n from 4000 to 512000, B = 32.  Expected
+shape: MIN-MERGE exactly flat, MIN-INCREMENT flat (it can only shed
+ladder levels), REHIST growing slowly (log n more realized error classes).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig6_memory_vs_stream_size
+
+
+def test_fig6_memory_vs_stream_size(benchmark, paper_scale, save_series):
+    series = benchmark.pedantic(
+        lambda: fig6_memory_vs_stream_size(paper_scale=paper_scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series("fig6_memory_vs_n", series)
+    print("\n" + text)
+    mm = series.column("min-merge")
+    mi = series.column("min-increment")
+    # Space essentially independent of n (the paper's point).
+    assert max(mm) == min(mm)
+    assert max(mi) <= 2 * min(mi)
+    rehist = [r for r in series.column("rehist") if r is not None]
+    growth_n = series.rows[-1]["n"] / series.rows[0]["n"]
+    # REHIST grows, but far sublinearly in n.
+    assert rehist[-1] <= rehist[0] * growth_n

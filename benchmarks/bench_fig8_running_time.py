@@ -1,0 +1,30 @@
+"""Figure 8: running time as a function of the stream size n.
+
+Paper setting: Brownian data, B = 32.  Expected shape: all algorithms
+linear in n; MIN-MERGE and MIN-INCREMENT orders of magnitude faster than
+REHIST.  (Absolute numbers are pure-Python; the paper's were C++.)
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig8_running_time
+
+
+def test_fig8_running_time(benchmark, paper_scale, save_series):
+    series = benchmark.pedantic(
+        lambda: fig8_running_time(paper_scale=paper_scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series("fig8_running_time", series)
+    print("\n" + text)
+    rows = series.rows
+    # Linear-ish growth: 2x the items should cost < 4x the time (generous
+    # bounds; wall clocks are noisy).
+    for prev, cur in zip(rows, rows[1:]):
+        scale = cur["n"] / prev["n"]
+        assert cur["min-merge"] < 6 * scale * max(prev["min-merge"], 1e-4)
+    # REHIST is the slow one wherever it ran.
+    for row in rows:
+        if row["rehist"] is not None:
+            assert row["rehist"] > row["min-merge"]

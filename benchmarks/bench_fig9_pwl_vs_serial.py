@@ -1,0 +1,29 @@
+"""Figure 9: approximation quality of PWL vs serial histograms.
+
+Paper setting: 16384-point Dow-Jones, MIN-MERGE and MIN-INCREMENT in both
+representations.  Expected shape: PWL errors 30-40% below serial at equal
+bucket count on trending data.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig9_pwl_vs_serial
+
+
+def test_fig9_pwl_vs_serial(benchmark, paper_scale, save_series):
+    series = benchmark.pedantic(
+        lambda: fig9_pwl_vs_serial(paper_scale=paper_scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series("fig9_pwl_vs_serial", series)
+    print("\n" + text)
+    for row in series.rows:
+        assert row["pwl-min-merge"] < row["serial-min-merge"]
+        assert row["pwl-min-increment"] < row["serial-min-increment"]
+    gains = [
+        1.0 - row["pwl-min-merge"] / row["serial-min-merge"]
+        for row in series.rows
+    ]
+    # The paper reports 30-40%; allow a broad band for the proxy dataset.
+    assert all(0.05 < g < 0.7 for g in gains), gains

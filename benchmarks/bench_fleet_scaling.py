@@ -1,0 +1,71 @@
+"""Extension: fleet scaling -- thousands of streams, StatStream-style.
+
+The paper's motivation says "concurrently computing the histograms for
+thousands of data streams requires that the histogram algorithm be highly
+frugal in its space usage".  This benchmark measures exactly that: total
+memory and ingest throughput of a :class:`StreamFleet` as the stream count
+grows, at the paper's B = 32 operating point.
+
+Expected shape: memory exactly linear in stream count at ~1.5 KB per
+stream (the raw data would be 4 bytes x ticks x streams), throughput
+linear too.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.fleet import StreamFleet
+from repro.harness.experiments import ExperimentSeries
+
+TICKS = 512
+BUCKETS = 32
+
+
+def _sweep(stream_counts) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="fleet-scaling",
+        title=f"Fleet scaling: B={BUCKETS}, {TICKS} ticks per stream",
+        x="streams",
+        columns=[
+            "streams", "memory-bytes", "bytes-per-stream",
+            "seconds", "values-per-second",
+        ],
+    )
+    rng = np.random.default_rng(17)
+    for count in stream_counts:
+        data = np.abs(
+            np.cumsum(rng.normal(0, 10.0, size=(count, TICKS)), axis=1)
+        ).astype(np.int64) % (1 << 15)
+        fleet = StreamFleet(buckets=BUCKETS)
+        start = time.perf_counter()
+        for sid in range(count):
+            fleet.extend(sid, data[sid].tolist())
+        elapsed = time.perf_counter() - start
+        total = fleet.total_memory_bytes()
+        series.rows.append(
+            {
+                "streams": count,
+                "memory-bytes": total,
+                "bytes-per-stream": total / count,
+                "seconds": elapsed,
+                "values-per-second": count * TICKS / elapsed,
+            }
+        )
+    return series
+
+
+def test_fleet_scaling(benchmark, paper_scale, save_series):
+    counts = (64, 256, 1024) if paper_scale else (32, 128, 512)
+    series = benchmark.pedantic(
+        lambda: _sweep(counts), rounds=1, iterations=1
+    )
+    text = save_series("fleet_scaling", series)
+    print("\n" + text)
+    per_stream = series.column("bytes-per-stream")
+    # Memory per stream is constant (no cross-stream or per-n growth)...
+    assert max(per_stream) == min(per_stream)
+    # ...and tiny next to the raw data (4 bytes per value).
+    assert per_stream[0] < TICKS * 4

@@ -1,0 +1,76 @@
+"""Extension: the L-infinity-vs-L2 motivation, quantified.
+
+The paper's introduction argues that real-time monitoring needs the
+*maximum* error metric because L2-optimal summaries may flatten exactly
+the spikes that matter.  With the L2 subpackage in place we can measure
+it: on a spiky workload, compare the V-optimal (exact L2) and streaming
+L2-merge histograms against MIN-MERGE at equal bucket budgets, scoring
+both metrics plus the residual at the worst spike.
+
+Expected shape: the L2 summaries win (slightly) on L2 while MIN-MERGE
+wins decisively on L-infinity and keeps every spike visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.min_merge import MinMergeHistogram
+from repro.data.generators import spike_train
+from repro.data.quantize import quantize_to_universe
+from repro.harness.experiments import ExperimentSeries
+from repro.l2.merge import L2MergeHistogram
+from repro.l2.voptimal import voptimal_histogram
+from repro.metrics.errors import l2_error, linf_error
+
+UNIVERSE = 1 << 15
+
+
+def _sweep(values, budgets) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="linf-vs-l2",
+        title="L-infinity vs L2 histograms on spiky data (equal buckets)",
+        x="buckets",
+        columns=[
+            "buckets",
+            "minmerge-linf", "voptimal-linf", "l2merge-linf",
+            "minmerge-l2", "voptimal-l2",
+        ],
+    )
+    for buckets in budgets:
+        mm = MinMergeHistogram(buckets=buckets // 2, working_buckets=buckets)
+        mm.extend(values)
+        mm_approx = mm.histogram().reconstruct()
+        vo_approx = voptimal_histogram(values, buckets).reconstruct()
+        l2m = L2MergeHistogram(buckets=buckets)
+        l2m.extend(values)
+        l2m_approx = l2m.histogram().reconstruct()
+        series.rows.append(
+            {
+                "buckets": buckets,
+                "minmerge-linf": linf_error(values, mm_approx),
+                "voptimal-linf": linf_error(values, vo_approx),
+                "l2merge-linf": linf_error(values, l2m_approx),
+                "minmerge-l2": l2_error(values, mm_approx),
+                "voptimal-l2": l2_error(values, vo_approx),
+            }
+        )
+    return series
+
+
+def test_linf_vs_l2_on_spikes(benchmark, paper_scale, save_series):
+    n = 4096 if paper_scale else 1024
+    raw = spike_train(
+        n, seed=8, spike_probability=0.01, spike_height=60.0, noise=0.5
+    )
+    values = quantize_to_universe(raw, UNIVERSE)
+    budgets = (16, 32, 64) if paper_scale else (16, 32)
+    series = benchmark.pedantic(
+        lambda: _sweep(values, budgets), rounds=1, iterations=1
+    )
+    text = save_series("linf_vs_l2", series)
+    print("\n" + text)
+    for row in series.rows:
+        # The max-error summary dominates on its own metric...
+        assert row["minmerge-linf"] <= row["voptimal-linf"]
+        assert row["minmerge-linf"] <= row["l2merge-linf"]
+        # ...while the exact L2 optimum dominates on L2, by definition.
+        assert row["voptimal-l2"] <= row["minmerge-l2"] + 1e-6

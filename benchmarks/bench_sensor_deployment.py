@@ -1,0 +1,70 @@
+"""Extension: the full sensor-network deployment, measured.
+
+The paper's opening scenario run end to end in simulation: motes
+summarize epochs with MIN-MERGE, ship summaries up a binary collection
+tree, and the base station maintains per-mote histories by guaranteed
+merging.  The sweep varies the epoch length and reports radio bytes for
+summary shipping vs raw forwarding, peak per-mote memory, and whether the
+(1, 2) guarantee held through every merge.
+
+Expected shape: radio savings grow linearly with epoch length (the
+summary payload is constant while the raw payload is 4 bytes/reading);
+mote memory is flat; the guarantee always holds.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentSeries
+from repro.simulation.scenario import SensorNetworkSimulation
+
+
+def _sweep(epoch_lengths, *, leaves, epochs, buckets) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="sensor-deployment",
+        title=(
+            f"Sensor deployment: {leaves} motes, {epochs} epochs, "
+            f"B={buckets}"
+        ),
+        x="readings-per-epoch",
+        columns=[
+            "readings-per-epoch", "summary-kb", "raw-kb",
+            "radio-savings", "mote-memory-bytes", "guarantee",
+        ],
+    )
+    for length in epoch_lengths:
+        report = SensorNetworkSimulation(
+            leaves=leaves,
+            buckets=buckets,
+            epochs=epochs,
+            readings_per_epoch=length,
+        ).run()
+        series.rows.append(
+            {
+                "readings-per-epoch": length,
+                "summary-kb": report.summary_radio_bytes / 1024.0,
+                "raw-kb": report.raw_radio_bytes / 1024.0,
+                "radio-savings": report.radio_savings,
+                "mote-memory-bytes": report.peak_mote_memory_bytes,
+                "guarantee": report.guarantee_held,
+            }
+        )
+    return series
+
+
+def test_sensor_deployment(benchmark, paper_scale, save_series):
+    if paper_scale:
+        kwargs = {"leaves": 16, "epochs": 6, "buckets": 16}
+        lengths = (512, 2048, 8192)
+    else:
+        kwargs = {"leaves": 8, "epochs": 3, "buckets": 16}
+        lengths = (256, 1024, 4096)
+    series = benchmark.pedantic(
+        lambda: _sweep(lengths, **kwargs), rounds=1, iterations=1
+    )
+    text = save_series("sensor_deployment", series)
+    print("\n" + text)
+    savings = series.column("radio-savings")
+    assert savings == sorted(savings)  # grows with epoch length
+    for row in series.rows:
+        assert row["guarantee"] is True
+        assert row["mote-memory-bytes"] <= 1024

@@ -1,0 +1,32 @@
+"""Section 4.1 extension: sliding-window histograms (no paper figure).
+
+Sweeps the window size at fixed B and eps, checking Theorem 5's promises:
+at most B + 1 buckets, error within (1 + eps) of the window optimum, and
+memory independent of the window size -- the headline improvement over the
+Theta(w) of prior work.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import sliding_window_experiment
+
+
+def test_sliding_window_guarantees(benchmark, paper_scale, save_series):
+    kwargs = (
+        {"n": 16384, "windows": (512, 1024, 2048, 4096, 8192)}
+        if paper_scale
+        else {"n": 6000, "windows": (256, 512, 1024, 2048)}
+    )
+    series = benchmark.pedantic(
+        lambda: sliding_window_experiment(buckets=32, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series("sliding_window", series)
+    print("\n" + text)
+    for row in series.rows:
+        assert row["buckets-used"] <= 33
+        assert row["error"] <= 1.2 * row["optimal"] + 1e-9
+    memories = series.column("memory-bytes")
+    # Memory flat in w: no Theta(w) term.
+    assert max(memories) <= 2 * min(memories)

@@ -1,0 +1,28 @@
+"""Section 1.2 claim: wavelets are fine for L2 but poor for L-infinity.
+
+Equal-storage comparison of a top-B Haar synopsis against MIN-MERGE.
+Expected shape: the wavelet is competitive (often better) on L2 while the
+histogram wins decisively on the maximum error, especially on the bursty
+Merced data whose spikes the L2 thresholding sacrifices.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import wavelet_comparison
+
+
+def test_wavelet_vs_histogram(benchmark, paper_scale, save_series):
+    kwargs = (
+        {"n": 16384, "budgets": (16, 32, 64, 128, 256)}
+        if paper_scale
+        else {"n": 4096, "budgets": (16, 32, 64, 128)}
+    )
+    series = benchmark.pedantic(
+        lambda: wavelet_comparison(dataset="merced", **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series("wavelet_vs_histogram", series)
+    print("\n" + text)
+    for row in series.rows:
+        assert row["histogram-linf"] < row["wavelet-linf"], row

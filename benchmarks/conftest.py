@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures and
+
+* times the underlying work with pytest-benchmark (one round -- these are
+  experiment drivers, not microbenchmarks; the throughput file holds the
+  repeated-measurement microbenchmarks), and
+* writes the rendered series to ``benchmarks/results/<name>.txt`` so the
+  rows can be diffed against the paper (EXPERIMENTS.md quotes them).
+
+Scale control: set ``REPRO_BENCH_SCALE=paper`` to run the paper's exact
+workload sizes (minutes in pure Python); the default ``quick`` profile
+keeps every file in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: True when the paper's full workload sizes were requested.
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick") == "paper"
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+@pytest.fixture(scope="session")
+def save_series():
+    """Write a rendered experiment series under benchmarks/results/."""
+    from repro.harness.reporting import render_series
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, series) -> str:
+        text = render_series(series)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return text
+
+    return _save

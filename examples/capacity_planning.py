@@ -1,0 +1,65 @@
+"""Capacity planning: size a deployment before shipping it.
+
+Before flashing a fleet of motes you want numbers: to stay within a given
+maximum error on data like ours, how many buckets does each representation
+need, which algorithm fits the RAM budget, and what does the error buy as
+the budget grows?  This script runs the planner on a day of river-gauge
+style data and prints the decision table, then sanity-checks the
+recommendation by deploying it on the sample.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import MinMergeHistogram, compression_profile, plan_summary
+from repro.data import merced
+
+TARGET_ERROR = 1500.0
+
+
+def main() -> None:
+    sample = merced(8192)
+
+    plan = plan_summary(sample, TARGET_ERROR, epsilon=0.2)
+    print(f"sample: {plan.sample_size:,} river-gauge readings")
+    print(f"target maximum error: {plan.target_error:g}\n")
+    print(
+        f"buckets needed (exact offline duals): "
+        f"serial {plan.serial_buckets_needed}, "
+        f"PWL {plan.pwl_buckets_needed}\n"
+    )
+    print(f"{'algorithm':<20}{'B':>6}{'memory(B)':>12}")
+    for option in plan.options:
+        print(
+            f"{option.algorithm:<20}{option.buckets:>6}"
+            f"{option.projected_memory_bytes:>12,}"
+        )
+    best = plan.best()
+    print(
+        f"\nrecommended: {best.algorithm} with B={best.buckets} "
+        f"(~{best.projected_memory_bytes:,} bytes)\n"
+    )
+
+    # Deploy the recommendation on the sample and verify the promise.
+    summary = MinMergeHistogram(buckets=plan.serial_buckets_needed)
+    summary.extend(sample)
+    print(
+        f"deployed min-merge B={plan.serial_buckets_needed}: "
+        f"error {summary.error:g} (target {TARGET_ERROR:g}), "
+        f"memory {summary.memory_bytes():,} bytes"
+    )
+    assert summary.error <= TARGET_ERROR
+
+    # The wider picture: what does each extra bucket buy?
+    print("\nerror vs bucket budget (exact optima on the sample):")
+    print(f"{'B':>5}{'serial':>10}{'pwl':>10}{'pwl/serial':>12}")
+    for row in compression_profile(sample, [16, 32, 64, 128, 256]):
+        print(
+            f"{row['buckets']:>5}{row['serial-error']:>10,.0f}"
+            f"{row['pwl-error']:>10,.0f}{row['pwl-ratio']:>12.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: build a maximum-error histogram of a stream in a few lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script streams a random walk through MIN-MERGE (the paper's simplest
+algorithm: O(B) memory, error never worse than the optimal B-bucket
+histogram) and prints the resulting summary next to the exact offline
+optimum.
+"""
+
+from repro import MinMergeHistogram, optimal_error
+from repro.data import brownian
+
+
+def main() -> None:
+    # A quantized random walk: 10k integers in [0, 2^15).
+    stream = brownian(10_000)
+
+    # The summary never holds more than 2 * 32 buckets, no matter how long
+    # the stream gets.
+    summary = MinMergeHistogram(buckets=32)
+    for value in stream:
+        summary.insert(value)
+
+    histogram = summary.histogram()
+    print(f"stream length    : {summary.items_seen:,}")
+    print(f"summary buckets  : {len(histogram)}")
+    print(f"summary memory   : {summary.memory_bytes():,} bytes")
+    print(f"max error        : {histogram.error:g}")
+
+    # Theorem 1's guarantee: our 64-bucket summary is at least as accurate
+    # as the *optimal* 32-bucket histogram.
+    best_possible = optimal_error(stream, 32)
+    print(f"optimal-32 error : {best_possible:g}")
+    assert histogram.error <= best_possible
+
+    # The histogram reconstructs an approximation of the full stream.
+    approx = histogram.reconstruct()
+    worst = max(abs(a - b) for a, b in zip(stream, approx))
+    print(f"measured error   : {worst:g} (equals the reported error)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""repro: space-efficient streaming algorithms for max-error histograms.
+
+A faithful, production-quality reproduction of *"Space Efficient Streaming
+Algorithms for the Maximum Error Histogram"* (Buragohain, Shrivastava,
+Suri; ICDE 2007).
+
+The paper's contributions, all implemented here:
+
+* :class:`MinMergeHistogram` -- the (1, 2)-approximation in O(B) memory
+  (Theorem 1): 2B buckets whose error never exceeds the optimal B-bucket
+  error.
+* :class:`MinIncrementHistogram` -- the (1 + eps, 1)-approximation in
+  O(eps^-1 B log U) memory (Theorem 2), built on the exactly-optimal
+  GREEDY-INSERT dual solver (Lemma 2).
+* :class:`PwlMinMergeHistogram` / :class:`PwlMinIncrementHistogram` --
+  the piecewise-linear extensions (Theorems 3-4) backed by streaming
+  convex hulls and directional-kernel size caps.
+* :class:`SlidingWindowMinIncrement` -- the (1 + eps, 1 + 1/B) sliding
+  window histogram in sublinear space (Theorem 5).
+* :func:`optimal_histogram` / :func:`optimal_error` -- the exact offline
+  optimum via greedy feasibility search (Theorem 6).
+* :class:`RehistHistogram` -- the REHIST comparator of the paper's
+  experiments, at its characteristic Theta(eps^-1 B^2 log U) space.
+
+Quickstart::
+
+    from repro import MinMergeHistogram
+
+    summary = MinMergeHistogram(buckets=32)
+    for value in stream:
+        summary.insert(value)
+    hist = summary.histogram()
+    print(len(hist), hist.error, summary.memory_bytes())
+"""
+
+from repro.core import (
+    Bucket,
+    ErrorLadder,
+    GreedyInsertSummary,
+    Histogram,
+    MinIncrementHistogram,
+    MinMergeHistogram,
+    PwlBucket,
+    PwlGreedyInsertSummary,
+    PwlMinIncrementHistogram,
+    PwlMinMergeHistogram,
+    Segment,
+    SlidingWindowMinIncrement,
+    SlidingWindowPwlMinIncrement,
+)
+from repro.baselines import (
+    GKQuantileSketch,
+    HaarWaveletSynopsis,
+    RehistHistogram,
+    equi_width_histogram,
+    greedy_split_histogram,
+)
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.memory import DEFAULT_MODEL, MemoryModel, MemoryReport
+from repro.metrics import (
+    l2_error,
+    linf_error,
+    mean_absolute_error,
+    series_linf_distance,
+)
+from repro.analysis import compression_profile, plan_summary
+from repro.api import summarize
+from repro.core.aggregation import (
+    merge_min_merge_summaries,
+    merge_pwl_summaries,
+)
+from repro.checkpoint import restore, state_dict
+from repro.fleet import StreamFleet
+from repro.l2 import L2MergeHistogram, voptimal_error, voptimal_histogram
+from repro.relative import (
+    RelativeMinIncrementHistogram,
+    RelativeMinMergeHistogram,
+    optimal_relative_error,
+)
+from repro.offline import (
+    min_buckets_for_error,
+    min_pwl_buckets_for_error,
+    optimal_error,
+    optimal_error_dp,
+    optimal_histogram,
+    optimal_pwl_error,
+    optimal_pwl_histogram,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Bucket",
+    "ErrorLadder",
+    "GreedyInsertSummary",
+    "Histogram",
+    "MinIncrementHistogram",
+    "MinMergeHistogram",
+    "PwlBucket",
+    "PwlGreedyInsertSummary",
+    "PwlMinIncrementHistogram",
+    "PwlMinMergeHistogram",
+    "Segment",
+    "SlidingWindowMinIncrement",
+    "SlidingWindowPwlMinIncrement",
+    # baselines
+    "HaarWaveletSynopsis",
+    "GKQuantileSketch",
+    "RehistHistogram",
+    "equi_width_histogram",
+    "greedy_split_histogram",
+    # offline optimal
+    "min_buckets_for_error",
+    "min_pwl_buckets_for_error",
+    "optimal_error",
+    "optimal_error_dp",
+    "optimal_histogram",
+    "optimal_pwl_error",
+    "optimal_pwl_histogram",
+    # extensions beyond the paper
+    "summarize",
+    "plan_summary",
+    "compression_profile",
+    "merge_min_merge_summaries",
+    "merge_pwl_summaries",
+    "StreamFleet",
+    "state_dict",
+    "restore",
+    "L2MergeHistogram",
+    "voptimal_error",
+    "voptimal_histogram",
+    "RelativeMinMergeHistogram",
+    "RelativeMinIncrementHistogram",
+    "optimal_relative_error",
+    # metrics
+    "l2_error",
+    "linf_error",
+    "mean_absolute_error",
+    "series_linf_distance",
+    # memory accounting
+    "DEFAULT_MODEL",
+    "MemoryModel",
+    "MemoryReport",
+    # exceptions
+    "ReproError",
+    "InvalidParameterError",
+    "DomainError",
+    "EmptySummaryError",
+    "__version__",
+]

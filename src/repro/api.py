@@ -1,0 +1,104 @@
+"""One-shot convenience API.
+
+Most adopters start with "I have a sequence, give me a good histogram".
+:func:`summarize` wraps the right algorithm behind a single call::
+
+    from repro import summarize
+
+    hist = summarize(values, buckets=32)                 # streaming (1+eps, 1)
+    hist = summarize(values, buckets=32, method="optimal")  # exact offline
+    hist = summarize(values, buckets=32, method="pwl")      # piecewise-linear
+
+and returns a :class:`~repro.core.histogram.Histogram`.  For genuinely
+streaming use (values that do not fit in memory, sliding windows,
+checkpoints) instantiate the summary classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.histogram import Histogram
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_increment import PwlMinIncrementHistogram
+from repro.exceptions import InvalidParameterError
+from repro.offline.optimal import optimal_histogram
+from repro.offline.optimal_pwl import optimal_pwl_histogram
+
+#: Method names accepted by :func:`summarize`.
+SUMMARIZE_METHODS = (
+    "min-increment",
+    "min-merge",
+    "pwl",
+    "optimal",
+    "optimal-pwl",
+)
+
+
+def summarize(
+    values: Sequence,
+    buckets: int,
+    *,
+    method: str = "min-increment",
+    epsilon: float = 0.1,
+) -> Histogram:
+    """Build a maximum-error histogram of ``values`` in one call.
+
+    Parameters
+    ----------
+    values:
+        The full sequence (non-negative numbers; integer sequences get
+        exact guarantees).
+    buckets:
+        Bucket budget ``B``.  ``"min-merge"`` returns up to ``2 B``
+        buckets (that is its theorem); every other method stays within
+        ``B``.
+    method:
+        * ``"min-increment"`` (default) -- streaming (1 + eps, 1);
+        * ``"min-merge"`` -- streaming (1, 2);
+        * ``"pwl"`` -- streaming piecewise-linear (1 + eps, 1);
+        * ``"optimal"`` -- exact offline optimum (Theorem 6);
+        * ``"optimal-pwl"`` -- near-exact offline piecewise-linear.
+    epsilon:
+        Approximation parameter for the streaming methods.
+    """
+    if len(values) == 0:
+        raise InvalidParameterError("cannot summarize an empty sequence")
+    if method == "optimal":
+        return optimal_histogram(values, buckets)
+    if method == "optimal-pwl":
+        return optimal_pwl_histogram(values, buckets)
+    if method == "min-merge":
+        summary = MinMergeHistogram(buckets=buckets)
+        summary.extend(values)
+        return summary.histogram()
+    universe = _universe_for(values)
+    if method == "min-increment":
+        streaming = MinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=universe
+        )
+        streaming.extend(values)
+        return streaming.histogram()
+    if method == "pwl":
+        pwl = PwlMinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=universe
+        )
+        pwl.extend(values)
+        return pwl.histogram()
+    known = ", ".join(SUMMARIZE_METHODS)
+    raise InvalidParameterError(
+        f"unknown method {method!r}; known methods: {known}"
+    )
+
+
+def _universe_for(values: Sequence) -> int:
+    """Smallest valid universe covering the observed values."""
+    top = max(values)
+    low = min(values)
+    if low < 0:
+        raise InvalidParameterError(
+            "the ladder-based methods need non-negative values; shift the "
+            f"series first (got minimum {low})"
+        )
+    return max(2, int(top) + 1)

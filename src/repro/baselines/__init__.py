@@ -1,0 +1,14 @@
+"""Comparator algorithms: REHIST, naive partitioners, wavelet synopsis."""
+
+from repro.baselines.rehist import RehistHistogram
+from repro.baselines.naive import equi_width_histogram, greedy_split_histogram
+from repro.baselines.wavelet import HaarWaveletSynopsis
+from repro.baselines.gk_quantile import GKQuantileSketch
+
+__all__ = [
+    "RehistHistogram",
+    "equi_width_histogram",
+    "greedy_split_histogram",
+    "HaarWaveletSynopsis",
+    "GKQuantileSketch",
+]

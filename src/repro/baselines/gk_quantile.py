@@ -1,0 +1,168 @@
+"""Greenwald-Khanna quantile sketch -- the mainstream-library contrast.
+
+Quantile sketches are the summaries that *did* make it into mainstream
+libraries, and they answer a different question: "what is the 95th
+percentile of the values?", i.e. the **value distribution**, with all
+temporal structure erased.  A max-error histogram answers "what was the
+value around time t?".  The two are complementary, and the benchmark
+``bench_quantiles_vs_histogram.py`` makes the contrast concrete: at equal
+memory, GK reconstructs the *sorted* stream beautifully and the *time
+series* terribly, while the histogram does the reverse.
+
+This is the classic deterministic GK sketch (Greenwald & Khanna, SIGMOD
+2001): tuples ``(value, g, delta)`` where ``g`` is the gap in minimum rank
+to the predecessor and ``delta`` the rank uncertainty; queries are
+rank-accurate within ``eps * n`` and space is O(eps^-1 log(eps n)).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterable
+
+from repro.exceptions import EmptySummaryError, InvalidParameterError
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+
+
+class _Tuple:
+    """One GK entry: value, min-rank gap ``g``, rank uncertainty ``delta``."""
+
+    __slots__ = ("value", "g", "delta")
+
+    def __init__(self, value, g: int, delta: int):
+        self.value = value
+        self.g = g
+        self.delta = delta
+
+    def __lt__(self, other: "_Tuple") -> bool:
+        return self.value < other.value
+
+
+class GKQuantileSketch:
+    """Deterministic eps-approximate quantile sketch.
+
+    Parameters
+    ----------
+    epsilon:
+        Rank-error bound: a query for quantile ``q`` returns a value whose
+        rank is within ``epsilon * n`` of ``q * n``.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.01,
+        *,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(
+                f"epsilon must lie in (0, 1), got {epsilon}"
+            )
+        self.epsilon = epsilon
+        self._model = memory_model
+        self._entries: list[_Tuple] = []
+        self._n = 0
+        # Compress every ~1/(2 eps) inserts (the classic schedule).
+        self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+
+    # -- ingestion -------------------------------------------------------------
+
+    def insert(self, value) -> None:
+        """Add one value to the sketch."""
+        self._n += 1
+        band_cap = int(2.0 * self.epsilon * self._n)
+        entries = self._entries
+        if not entries or value < entries[0].value:
+            entries.insert(0, _Tuple(value, 1, 0))
+        elif value >= entries[-1].value:
+            entries.append(_Tuple(value, 1, 0))
+        else:
+            # Find the successor and insert before it with full uncertainty.
+            lo, hi = 0, len(entries) - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if entries[mid].value <= value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            delta = max(0, band_cap - 1)
+            entries.insert(lo, _Tuple(value, 1, delta))
+        if self._n % self._compress_every == 0:
+            self._compress()
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable."""
+        for value in values:
+            self.insert(value)
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def items_seen(self) -> int:
+        """Number of values inserted so far."""
+        return self._n
+
+    @property
+    def entry_count(self) -> int:
+        """Current number of stored tuples."""
+        return len(self._entries)
+
+    def quantile(self, q: float):
+        """Value at quantile ``q`` (rank-accurate within ``eps * n``)."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must lie in [0, 1], got {q}")
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        target = q * self._n
+        slack = self.epsilon * self._n
+        min_rank = 0
+        for entry in self._entries:
+            min_rank += entry.g
+            max_rank = min_rank + entry.delta
+            if max_rank >= target - slack and min_rank <= target + slack:
+                return entry.value
+        return self._entries[-1].value
+
+    def quantiles(self, qs: Iterable[float]) -> list:
+        """Batch quantile queries."""
+        return [self.quantile(q) for q in qs]
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: 3 words per stored tuple."""
+        return self._model.words(3 * len(self._entries))
+
+    def check_invariant(self) -> None:
+        """Assert rank bookkeeping is consistent (tests)."""
+        total_g = sum(e.g for e in self._entries)
+        if total_g != self._n:
+            raise AssertionError(
+                f"sum of gaps {total_g} != items seen {self._n}"
+            )
+        values = [e.value for e in self._entries]
+        if values != sorted(values):
+            raise AssertionError("entries out of order")
+        band_cap = max(1, int(2.0 * self.epsilon * self._n))
+        for e in self._entries:
+            if e.g + e.delta > band_cap + 1:
+                raise AssertionError(
+                    f"entry width {e.g + e.delta} exceeds cap {band_cap + 1}"
+                )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined width fits the band cap."""
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        band_cap = int(2.0 * self.epsilon * self._n)
+        # Sweep right-to-left, folding each entry into its successor when
+        # the merged width stays within the cap (endpoints stay exact).
+        i = len(entries) - 2
+        while i >= 1:
+            cur = entries[i]
+            nxt = entries[i + 1]
+            if cur.g + nxt.g + nxt.delta <= band_cap:
+                nxt.g += cur.g
+                del entries[i]
+            i -= 1

@@ -1,0 +1,97 @@
+"""Naive offline partitioners used as sanity baselines.
+
+Neither appears in the paper's plots, but both are standard strawmen that
+make the experiments' story legible: the equi-width partition shows what a
+data-oblivious bucketing costs under the max-error metric, and the greedy
+top-down splitter is the natural "cut the worst bucket" heuristic that the
+guaranteed algorithms are implicitly compared against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.core.histogram import Histogram, Segment
+from repro.exceptions import InvalidParameterError
+
+
+def equi_width_histogram(values: Sequence, buckets: int) -> Histogram:
+    """Split the index range into ``buckets`` equal-length pieces."""
+    _validate(values, buckets)
+    n = len(values)
+    buckets = min(buckets, n)
+    segments = []
+    worst = 0.0
+    for b in range(buckets):
+        beg = b * n // buckets
+        end = (b + 1) * n // buckets - 1
+        chunk = values[beg:end + 1]
+        lo, hi = min(chunk), max(chunk)
+        rep = (lo + hi) / 2.0
+        segments.append(Segment(beg, end, rep, rep))
+        worst = max(worst, (hi - lo) / 2.0)
+    return Histogram(segments, worst)
+
+
+def greedy_split_histogram(values: Sequence, buckets: int) -> Histogram:
+    """Top-down greedy: repeatedly split the bucket with the largest error.
+
+    Each split separates the bucket at the position of its extreme value
+    (the point realizing the half-range), the move that reduces that
+    bucket's error the most.  O(n log n + B n) overall; no approximation
+    guarantee -- that is the point of comparing it against MIN-MERGE.
+    """
+    _validate(values, buckets)
+    n = len(values)
+    buckets = min(buckets, n)
+
+    def bucket_stats(beg: int, end: int) -> tuple[float, int]:
+        """(error, split_position) for the range [beg, end]."""
+        lo = hi = values[beg]
+        lo_at = hi_at = beg
+        for i in range(beg + 1, end + 1):
+            v = values[i]
+            if v < lo:
+                lo, lo_at = v, i
+            if v > hi:
+                hi, hi_at = v, i
+        error = (hi - lo) / 2.0
+        # Split just before the later of the two extremes (keeps both
+        # sides non-empty whenever the bucket has >= 2 items).
+        split = max(lo_at, hi_at)
+        if split == beg:
+            split = beg + 1
+        return error, split
+
+    # Max-heap of (-error, beg, end, split).
+    heap: list[tuple] = []
+    err, split = bucket_stats(0, n - 1)
+    heapq.heappush(heap, (-err, 0, n - 1, split))
+    final: list[tuple[int, int]] = []
+    while heap and len(heap) + len(final) < buckets:
+        neg_err, beg, end, split = heapq.heappop(heap)
+        if neg_err == 0.0 or beg == end:
+            final.append((beg, end))
+            continue
+        for lo_i, hi_i in ((beg, split - 1), (split, end)):
+            e, s = bucket_stats(lo_i, hi_i)
+            heapq.heappush(heap, (-e, lo_i, hi_i, s))
+    final.extend((beg, end) for _neg, beg, end, _s in heap)
+    final.sort()
+    segments = []
+    worst = 0.0
+    for beg, end in final:
+        chunk = values[beg:end + 1]
+        lo, hi = min(chunk), max(chunk)
+        rep = (lo + hi) / 2.0
+        segments.append(Segment(beg, end, rep, rep))
+        worst = max(worst, (hi - lo) / 2.0)
+    return Histogram(segments, worst)
+
+
+def _validate(values: Sequence, buckets: int) -> None:
+    if buckets < 1:
+        raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+    if len(values) == 0:
+        raise InvalidParameterError("cannot build a histogram of no values")

@@ -1,0 +1,205 @@
+"""Checkpointing: full state round-trips for long-running summaries.
+
+A sensor node or stream processor that restarts must not lose its summary
+of the last million items.  :func:`state_dict` captures the complete
+internal state of a summary as plain data (JSON-safe lists, numbers,
+strings) and :func:`restore` rebuilds an equivalent summary -- *exactly*
+equivalent: every future insert produces the same buckets, errors, and
+memory accounting as if the process had never stopped (property-tested in
+``tests/test_checkpoint.py``).
+
+Supported summary types: :class:`MinMergeHistogram`,
+:class:`MinIncrementHistogram`, and :class:`SlidingWindowMinIncrement` --
+the three the paper's deployment scenarios run unattended.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.bucket import Bucket
+from repro.core.greedy_insert import GreedyInsertSummary
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.sliding_window import (
+    SlidingWindowMinIncrement,
+    _WindowedGreedySummary,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def state_dict(summary) -> dict:
+    """Serialize a supported summary's full state to plain data."""
+    if isinstance(summary, MinMergeHistogram):
+        return _min_merge_state(summary)
+    if isinstance(summary, MinIncrementHistogram):
+        return _min_increment_state(summary)
+    if isinstance(summary, SlidingWindowMinIncrement):
+        return _sliding_window_state(summary)
+    raise InvalidParameterError(
+        f"checkpointing not supported for {type(summary).__name__}"
+    )
+
+
+def restore(state: dict):
+    """Rebuild a summary from :func:`state_dict` output."""
+    try:
+        kind = state["kind"]
+    except (KeyError, TypeError) as exc:
+        raise InvalidParameterError(f"malformed checkpoint: {exc}") from exc
+    builders = {
+        "min-merge": _restore_min_merge,
+        "min-increment": _restore_min_increment,
+        "sliding-window": _restore_sliding_window,
+    }
+    try:
+        builder = builders[kind]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown checkpoint kind {kind!r}"
+        ) from None
+    try:
+        return builder(state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed checkpoint: {exc}") from exc
+
+
+# -- MIN-MERGE ----------------------------------------------------------------
+
+
+def _bucket_tuple(bucket: Bucket) -> list:
+    return [bucket.beg, bucket.end, bucket.min, bucket.max]
+
+
+def _min_merge_state(summary: MinMergeHistogram) -> dict:
+    return {
+        "kind": "min-merge",
+        "buckets": summary.target_buckets,
+        "working_buckets": summary.working_buckets,
+        "findmin": summary.findmin,
+        "items_seen": summary.items_seen,
+        "bucket_list": [_bucket_tuple(b) for b in summary.buckets_snapshot()],
+    }
+
+
+def _restore_min_merge(state: dict) -> MinMergeHistogram:
+    summary = MinMergeHistogram(
+        buckets=state["buckets"],
+        working_buckets=state["working_buckets"],
+        findmin=state["findmin"],
+    )
+    summary._n = state["items_seen"]
+    for beg, end, lo, hi in state["bucket_list"]:
+        node = summary._list.append(Bucket(beg, end, lo, hi))
+        if node.prev is not None and summary.findmin == "heap":
+            summary._push_pair_key(node.prev)
+    return summary
+
+
+# -- GREEDY-INSERT / MIN-INCREMENT ------------------------------------------------
+
+
+def _greedy_state(greedy: GreedyInsertSummary) -> dict:
+    return {
+        "target_error": greedy.target_error,
+        "closed": [_bucket_tuple(b) for b in greedy._closed],
+        "open": _bucket_tuple(greedy._open) if greedy._open is not None else None,
+        "next_index": greedy._next_index,
+    }
+
+
+def _restore_greedy(data: dict) -> GreedyInsertSummary:
+    greedy = GreedyInsertSummary(data["target_error"])
+    greedy._closed = [Bucket(*item) for item in data["closed"]]
+    greedy._open = Bucket(*data["open"]) if data["open"] is not None else None
+    greedy._next_index = data["next_index"]
+    return greedy
+
+
+def _min_increment_state(summary: MinIncrementHistogram) -> dict:
+    return {
+        "kind": "min-increment",
+        "buckets": summary.target_buckets,
+        "epsilon": summary.epsilon,
+        "universe": summary.universe,
+        "include_zero": summary.ladder[0] == 0.0,
+        "batch_size": summary._batch_size,
+        "items_seen": summary.items_seen,
+        "buffer": list(summary._buffer),
+        "summaries": [_greedy_state(s) for s in summary._summaries],
+    }
+
+
+def _restore_min_increment(state: dict) -> MinIncrementHistogram:
+    summary = MinIncrementHistogram(
+        buckets=state["buckets"],
+        epsilon=state["epsilon"],
+        universe=state["universe"],
+        include_zero_level=state["include_zero"],
+        batch_size=state["batch_size"],
+    )
+    summary._n = state["items_seen"]
+    summary._buffer = list(state["buffer"])
+    summary._summaries = [_restore_greedy(s) for s in state["summaries"]]
+    return summary
+
+
+# -- sliding window -----------------------------------------------------------------
+
+
+def _windowed_state(level: _WindowedGreedySummary) -> dict:
+    return {
+        "target_error": level.target_error,
+        "closed": [_bucket_tuple(b) for b in level.closed],
+        "open": _bucket_tuple(level.open) if level.open is not None else None,
+    }
+
+
+def _sliding_window_state(summary: SlidingWindowMinIncrement) -> dict:
+    return {
+        "kind": "sliding-window",
+        "buckets": summary.target_buckets,
+        "epsilon": summary.epsilon,
+        "universe": summary.universe,
+        "window": summary.window,
+        "include_zero": summary.ladder[0] == 0.0,
+        "items_seen": summary.items_seen,
+        "levels": [_windowed_state(level) for level in summary._summaries],
+    }
+
+
+def _restore_sliding_window(state: dict) -> SlidingWindowMinIncrement:
+    summary = SlidingWindowMinIncrement(
+        buckets=state["buckets"],
+        epsilon=state["epsilon"],
+        universe=state["universe"],
+        window=state["window"],
+        include_zero_level=state["include_zero"],
+    )
+    summary._n = state["items_seen"]
+    levels = []
+    for data in state["levels"]:
+        level = _WindowedGreedySummary(data["target_error"])
+        level.closed.extend(Bucket(*item) for item in data["closed"])
+        level.open = Bucket(*data["open"]) if data["open"] is not None else None
+        levels.append(level)
+    summary._summaries = levels
+    return summary
+
+
+def to_json(summary) -> str:
+    """JSON form of :func:`state_dict`."""
+    import json
+
+    return json.dumps(state_dict(summary), separators=(",", ":"))
+
+
+def from_json(payload: str):
+    """Inverse of :func:`to_json`."""
+    import json
+
+    try:
+        state = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"malformed checkpoint JSON: {exc}") from exc
+    return restore(state)

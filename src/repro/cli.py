@@ -1,0 +1,219 @@
+"""Command-line interface: ``repro-histogram`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-histogram list-datasets
+    repro-histogram summarize --dataset dow-jones --algorithm min-merge -B 32
+    repro-histogram fig5 [--paper]
+    repro-histogram fig6 [--paper]
+    repro-histogram fig7 [--paper]
+    repro-histogram fig8 [--paper]
+    repro-histogram fig9 [--paper]
+    repro-histogram sliding-window
+    repro-histogram wavelet
+
+The ``figN`` subcommands regenerate the series behind the corresponding
+figure in the paper; ``--paper`` switches from the quick interactive sizes
+to the paper's exact workload sizes (slower in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.data.datasets import dataset_by_name, list_datasets
+from repro.harness import experiments
+from repro.harness.reporting import render_series
+from repro.harness.runner import ALGORITHM_NAMES, make_algorithm, run_stream
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-histogram",
+        description=(
+            "Streaming maximum-error (L-infinity) histograms -- reproduction "
+            "of Buragohain, Shrivastava, Suri (ICDE 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="list the registered datasets")
+
+    summarize = sub.add_parser(
+        "summarize", help="stream a dataset through one algorithm"
+    )
+    summarize.add_argument(
+        "--dataset", default="brownian", help="dataset name (see list-datasets)"
+    )
+    summarize.add_argument(
+        "--algorithm",
+        default="min-merge",
+        choices=ALGORITHM_NAMES,
+        help="algorithm to run",
+    )
+    summarize.add_argument("-B", "--buckets", type=int, default=32)
+    summarize.add_argument("--epsilon", type=float, default=0.2)
+    summarize.add_argument("-n", "--points", type=int, default=16384)
+    summarize.add_argument(
+        "--window", type=int, default=None,
+        help="window length (sliding-window algorithm only)",
+    )
+
+    for fig in ("fig5", "fig6", "fig7", "fig8", "fig9"):
+        fig_parser = sub.add_parser(fig, help=f"regenerate the {fig} series")
+        fig_parser.add_argument(
+            "--paper", action="store_true",
+            help="use the paper's full workload sizes (slow in pure Python)",
+        )
+
+    sub.add_parser("sliding-window", help="Section 4.1 sliding-window series")
+    sub.add_parser("wavelet", help="Section 1.2 wavelet-vs-histogram series")
+
+    plot = sub.add_parser(
+        "plot", help="ASCII chart of a dataset and one summary's reconstruction"
+    )
+    plot.add_argument("--dataset", default="merced")
+    plot.add_argument(
+        "--algorithm", default="min-merge", choices=ALGORITHM_NAMES
+    )
+    plot.add_argument("-B", "--buckets", type=int, default=32)
+    plot.add_argument("--epsilon", type=float, default=0.2)
+    plot.add_argument("-n", "--points", type=int, default=4096)
+    plot.add_argument("--width", type=int, default=72)
+    plot.add_argument("--height", type=int, default=16)
+
+    plan = sub.add_parser(
+        "plan",
+        help="capacity planning: buckets/memory needed for a target error",
+    )
+    plan.add_argument("--dataset", default="merced")
+    plan.add_argument("-n", "--points", type=int, default=4096)
+    plan.add_argument(
+        "--target-error", type=float, required=True,
+        help="maximum L-infinity error the deployment may incur",
+    )
+    plan.add_argument("--epsilon", type=float, default=0.2)
+    return parser
+
+
+def _cmd_list_datasets() -> str:
+    lines = ["name        paper-length  description"]
+    for spec in list_datasets():
+        lines.append(
+            f"{spec.name:<12}{spec.paper_length:>12,}  {spec.description}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> str:
+    values = dataset_by_name(args.dataset).loader(args.points)
+    window = args.window if args.window is not None else max(1, args.points // 4)
+    algo = make_algorithm(
+        args.algorithm,
+        buckets=args.buckets,
+        epsilon=args.epsilon,
+        window=window,
+    )
+    result = run_stream(algo, values, name=args.algorithm)
+    return (
+        f"dataset     : {args.dataset} ({result.items:,} points)\n"
+        f"algorithm   : {result.algorithm} (B={args.buckets}, eps={args.epsilon})\n"
+        f"error       : {result.error:g}\n"
+        f"buckets     : {result.buckets}\n"
+        f"memory      : {result.memory_bytes:,} bytes\n"
+        f"ingest time : {result.seconds:.3f} s "
+        f"({result.items_per_second:,.0f} items/s)"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        print(_cmd_list_datasets())
+    elif args.command == "summarize":
+        print(_cmd_summarize(args))
+    elif args.command == "fig5":
+        print(render_series(experiments.fig5_memory_vs_buckets(paper_scale=args.paper)))
+    elif args.command == "fig6":
+        print(render_series(experiments.fig6_memory_vs_stream_size(paper_scale=args.paper)))
+    elif args.command == "fig7":
+        print(render_series(experiments.fig7_error_vs_buckets(paper_scale=args.paper)))
+    elif args.command == "fig8":
+        print(render_series(experiments.fig8_running_time(paper_scale=args.paper)))
+    elif args.command == "fig9":
+        print(render_series(experiments.fig9_pwl_vs_serial(paper_scale=args.paper)))
+    elif args.command == "sliding-window":
+        print(render_series(experiments.sliding_window_experiment()))
+    elif args.command == "wavelet":
+        print(render_series(experiments.wavelet_comparison()))
+    elif args.command == "plot":
+        print(_cmd_plot(args))
+    elif args.command == "plan":
+        print(_cmd_plan(args))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> str:
+    from repro.analysis import plan_summary
+
+    sample = dataset_by_name(args.dataset).loader(args.points)
+    plan = plan_summary(sample, args.target_error, epsilon=args.epsilon)
+    lines = [
+        f"sample      : {args.dataset} ({plan.sample_size:,} points)",
+        f"target error: {plan.target_error:g}",
+        f"buckets needed (offline duals): serial "
+        f"{plan.serial_buckets_needed}, PWL {plan.pwl_buckets_needed}",
+        "",
+        f"{'algorithm':<20}{'buckets':>8}{'memory(B)':>11}  notes",
+    ]
+    for option in plan.options:
+        lines.append(
+            f"{option.algorithm:<20}{option.buckets:>8}"
+            f"{option.projected_memory_bytes:>11,}  {option.notes}"
+        )
+    best = plan.best()
+    lines.append("")
+    lines.append(
+        f"recommended: {best.algorithm} with B={best.buckets} "
+        f"(~{best.projected_memory_bytes:,} bytes)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_plot(args: argparse.Namespace) -> str:
+    from repro.harness.ascii_plot import ascii_chart
+
+    values = dataset_by_name(args.dataset).loader(args.points)
+    window = max(1, args.points // 4)
+    algo = make_algorithm(
+        args.algorithm,
+        buckets=args.buckets,
+        epsilon=args.epsilon,
+        window=window,
+    )
+    result = run_stream(algo, values, name=args.algorithm)
+    try:
+        hist = algo.histogram()
+    except TypeError:  # REHIST materializes from the original values
+        hist = algo.histogram(values)
+    approx = hist.reconstruct()
+    covered = values[hist.beg:hist.end + 1]
+    chart = ascii_chart(
+        covered,
+        approx,
+        width=args.width,
+        height=args.height,
+        title=(
+            f"{args.dataset} (n={args.points:,}) via {args.algorithm} "
+            f"(B={args.buckets}): error={result.error:g}, "
+            f"memory={result.memory_bytes:,} B"
+        ),
+    )
+    return chart
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

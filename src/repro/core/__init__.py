@@ -1,0 +1,37 @@
+"""Core streaming algorithms of the paper.
+
+The primary contribution: MIN-MERGE (Section 2.1), MIN-INCREMENT
+(Section 2.2), their piecewise-linear extensions (Section 3), and the
+sliding-window MIN-INCREMENT (Section 4.1).
+"""
+
+from repro.core.bucket import Bucket
+from repro.core.histogram import Histogram, Segment
+from repro.core.error_ladder import ErrorLadder
+from repro.core.greedy_insert import GreedyInsertSummary
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.sliding_window import SlidingWindowMinIncrement
+from repro.core.sliding_window_pwl import SlidingWindowPwlMinIncrement
+from repro.core.pwl_bucket import PwlBucket
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.core.pwl_min_increment import (
+    PwlGreedyInsertSummary,
+    PwlMinIncrementHistogram,
+)
+
+__all__ = [
+    "Bucket",
+    "Histogram",
+    "Segment",
+    "ErrorLadder",
+    "GreedyInsertSummary",
+    "MinMergeHistogram",
+    "MinIncrementHistogram",
+    "SlidingWindowMinIncrement",
+    "SlidingWindowPwlMinIncrement",
+    "PwlBucket",
+    "PwlMinMergeHistogram",
+    "PwlGreedyInsertSummary",
+    "PwlMinIncrementHistogram",
+]

@@ -1,0 +1,107 @@
+"""The serial-histogram bucket of Section 2.1.
+
+A bucket summarizes a contiguous run of stream values by the tuple
+``(beg, end, min, max)`` -- the inclusive index range it covers plus the
+extreme values inside it.  Under the L-infinity metric the optimal
+single-value representative is the midpoint ``(max + min) / 2`` and the
+bucket's error is the half-range ``(max - min) / 2``; both are exact, not
+estimates, which is what makes max-error histograms so much lighter than
+their L2 counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+
+
+class Bucket:
+    """One serial-histogram bucket: index range plus running min/max.
+
+    Indices are 0-based and the range is inclusive on both ends, so a
+    singleton bucket for stream position ``i`` is ``Bucket(i, i, v, v)``.
+    """
+
+    __slots__ = ("beg", "end", "min", "max")
+
+    def __init__(self, beg: int, end: int, lo, hi):
+        if beg > end:
+            raise InvalidParameterError(f"bucket range [{beg}, {end}] is empty")
+        if lo > hi:
+            raise InvalidParameterError(f"bucket min {lo} exceeds max {hi}")
+        self.beg = beg
+        self.end = end
+        self.min = lo
+        self.max = hi
+
+    @classmethod
+    def singleton(cls, index: int, value) -> "Bucket":
+        """Bucket holding exactly the stream item ``(index, value)``."""
+        return cls(index, index, value, value)
+
+    @property
+    def count(self) -> int:
+        """Number of stream items the bucket covers."""
+        return self.end - self.beg + 1
+
+    @property
+    def representative(self) -> float:
+        """The optimal single value for the bucket: ``(max + min) / 2``."""
+        return (self.max + self.min) / 2.0
+
+    @property
+    def error(self) -> float:
+        """L-infinity error of representing the bucket by its midpoint."""
+        return (self.max - self.min) / 2.0
+
+    def extend(self, value) -> None:
+        """Absorb the next stream value (at index ``end + 1``) in place."""
+        self.end += 1
+        if value < self.min:
+            self.min = value
+        elif value > self.max:
+            self.max = value
+
+    def would_extend_error(self, value) -> float:
+        """Error the bucket would have after absorbing ``value`` (no mutation)."""
+        lo = value if value < self.min else self.min
+        hi = value if value > self.max else self.max
+        return (hi - lo) / 2.0
+
+    def merged_with(self, other: "Bucket") -> "Bucket":
+        """MERGE of Section 2.1: union of two adjacent buckets.
+
+        ``other`` must begin exactly where this bucket ends.
+        """
+        if other.beg != self.end + 1:
+            raise InvalidParameterError(
+                f"buckets [{self.beg},{self.end}] and "
+                f"[{other.beg},{other.end}] are not adjacent"
+            )
+        return Bucket(
+            self.beg,
+            other.end,
+            self.min if self.min <= other.min else other.min,
+            self.max if self.max >= other.max else other.max,
+        )
+
+    def merge_error_with(self, other: "Bucket") -> float:
+        """Error of the union bucket, without constructing it."""
+        lo = self.min if self.min <= other.min else other.min
+        hi = self.max if self.max >= other.max else other.max
+        return (hi - lo) / 2.0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bucket):
+            return NotImplemented
+        return (
+            self.beg == other.beg
+            and self.end == other.end
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.beg, self.end, self.min, self.max))
+
+    def __repr__(self) -> str:
+        return f"Bucket(beg={self.beg}, end={self.end}, min={self.min}, max={self.max})"

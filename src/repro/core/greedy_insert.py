@@ -1,0 +1,169 @@
+"""GREEDY-INSERT: the optimal dual solver (Section 2.2, Lemma 2).
+
+For a *fixed* target error ``e``, GREEDY-INSERT minimizes the number of
+buckets needed to approximate the stream within error ``e``: it keeps the
+last bucket *open* and extends it with each arriving value for as long as
+the bucket's half-range stays within ``e``; when the next value would push
+the error past ``e``, the bucket is closed and a fresh one opened.
+Lemma 2 proves this greedy is exactly optimal -- no algorithm can cover the
+same stream within error ``e`` using fewer buckets.
+
+MIN-INCREMENT runs one of these summaries per ladder level; the sliding
+window variant reuses it with an expiry/trim policy (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.bucket import Bucket
+from repro.core.histogram import Histogram, Segment
+from repro.exceptions import EmptySummaryError, InvalidParameterError
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+
+
+class GreedyInsertSummary:
+    """Minimum-bucket approximation of a stream for one target error.
+
+    Parameters
+    ----------
+    target_error:
+        The error budget ``e >= 0``; every bucket's half-range is kept
+        ``<= e``.
+    start_index:
+        Absolute stream index of the first value this summary will see
+        (0 for full-stream use).
+    """
+
+    __slots__ = ("target_error", "_closed", "_open", "_next_index", "_model")
+
+    def __init__(
+        self,
+        target_error: float,
+        *,
+        start_index: int = 0,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if target_error < 0:
+            raise InvalidParameterError(
+                f"target_error must be >= 0, got {target_error}"
+            )
+        self.target_error = target_error
+        self._closed: list[Bucket] = []
+        self._open: Optional[Bucket] = None
+        self._next_index = start_index
+        self._model = memory_model
+
+    # -- ingestion -----------------------------------------------------------
+
+    def insert(self, value) -> None:
+        """GREEDY-INSERT one value."""
+        if self._open is None:
+            self._open = Bucket.singleton(self._next_index, value)
+        elif self._open.would_extend_error(value) <= self.target_error:
+            self._open.extend(value)
+        else:
+            self._closed.append(self._open)
+            self._open = Bucket.singleton(self._next_index, value)
+        self._next_index += 1
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    def insert_batch(self, values: Sequence, lo, hi) -> bool:
+        """Batched fast path of Section 2.2.2.
+
+        ``lo``/``hi`` must be the min/max of ``values``.  If the whole batch
+        fits in the open bucket without exceeding the target error (Case 1),
+        it is absorbed in O(1); otherwise (Case 2) the batch is scanned
+        item by item.  Returns True when the O(1) fast path was taken.
+        """
+        if not values:
+            return True
+        if self._open is not None:
+            new_lo = lo if lo < self._open.min else self._open.min
+            new_hi = hi if hi > self._open.max else self._open.max
+            if (new_hi - new_lo) / 2.0 <= self.target_error:
+                self._open.end += len(values)
+                self._open.min = new_lo
+                self._open.max = new_hi
+                self._next_index += len(values)
+                return True
+        elif (hi - lo) / 2.0 <= self.target_error:
+            self._open = Bucket(
+                self._next_index, self._next_index + len(values) - 1, lo, hi
+            )
+            self._next_index += len(values)
+            return True
+        for value in values:
+            self.insert(value)
+        return False
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed (relative to start_index)."""
+        first = self._closed[0].beg if self._closed else (
+            self._open.beg if self._open is not None else self._next_index
+        )
+        return self._next_index - first
+
+    @property
+    def bucket_count(self) -> int:
+        """Buckets used so far, counting the open one."""
+        return len(self._closed) + (1 if self._open is not None else 0)
+
+    def buckets_snapshot(self) -> list[Bucket]:
+        """Copy of all buckets (closed plus open), in stream order."""
+        out = [Bucket(b.beg, b.end, b.min, b.max) for b in self._closed]
+        if self._open is not None:
+            b = self._open
+            out.append(Bucket(b.beg, b.end, b.min, b.max))
+        return out
+
+    @property
+    def error(self) -> float:
+        """Largest bucket error so far (always <= target_error)."""
+        if self.bucket_count == 0:
+            raise EmptySummaryError("no values inserted yet")
+        worst = 0.0
+        for bucket in self._closed:
+            if bucket.error > worst:
+                worst = bucket.error
+        if self._open is not None and self._open.error > worst:
+            worst = self._open.error
+        return worst
+
+    def histogram(self) -> Histogram:
+        """The current piecewise-constant approximation."""
+        if self.bucket_count == 0:
+            raise EmptySummaryError("no values inserted yet")
+        segments = [
+            Segment(b.beg, b.end, b.representative, b.representative)
+            for b in self.buckets_snapshot()
+        ]
+        return Histogram(segments, self.error)
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: closed buckets plus the open-bucket state."""
+        total = self._model.buckets(len(self._closed))
+        if self._open is not None:
+            total += self._model.open_buckets(1)
+        return total
+
+
+def greedy_bucket_count(values: Sequence, target_error: float) -> int:
+    """Minimum buckets to cover ``values`` within ``target_error``.
+
+    Convenience wrapper used by the offline optimal algorithm and the
+    tests; runs GREEDY-INSERT over the whole sequence and returns the
+    bucket count (0 for an empty sequence).
+    """
+    if not len(values):
+        return 0
+    summary = GreedyInsertSummary(target_error)
+    summary.extend(values)
+    return summary.bucket_count

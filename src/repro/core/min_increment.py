@@ -1,0 +1,223 @@
+"""The MIN-INCREMENT algorithm (Section 2.2, Algorithm 2).
+
+MIN-INCREMENT keeps one GREEDY-INSERT summary per level of a geometric
+error ladder ``e_i = (1 + eps)^i``.  Every stream value is inserted into
+every surviving summary; a summary that grows beyond ``B`` buckets is
+deleted, because by Lemma 2 the optimal B-bucket error must exceed its
+target.  At query time the surviving summary with the smallest target error
+is the answer: it uses at most ``B`` buckets and, by inequality 2, its error
+is within ``(1 + eps)`` of optimal -- a (1 + eps, 1)-approximation in
+``O(eps^-1 B log U)`` space (Theorem 2).
+
+The batched variant of Section 2.2.2 is available via ``batch_size``: values
+are buffered and each summary first tries to swallow the whole buffer into
+its open bucket in O(1) (possible whenever the buffer's min/max fit), which
+amortizes the per-item cost to O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.error_ladder import ErrorLadder
+from repro.core.greedy_insert import GreedyInsertSummary
+from repro.core.histogram import Histogram
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+
+
+class MinIncrementHistogram:
+    """Streaming (1 + eps, 1)-approximate L-infinity histogram.
+
+    Parameters
+    ----------
+    buckets:
+        Target bucket count ``B``.
+    epsilon:
+        Approximation parameter in (0, 1); the answer's error is at most
+        ``(1 + epsilon)`` times the optimal ``B``-bucket error.
+    universe:
+        Size ``U`` of the integer value domain ``[0, U)``.  Values outside
+        the domain raise :class:`DomainError` (the theory's ladder top
+        depends on ``U``).
+    batch_size:
+        If given, enable the Section 2.2.2 buffered fast path with this
+        buffer length; ``None`` processes items one at a time.  The paper
+        sets the buffer to ``eps^-1 log U`` (the ladder size), available
+        here as ``batch_size="auto"``.
+    memory_model:
+        Cost model used by :meth:`memory_bytes`.
+
+    Examples
+    --------
+    >>> h = MinIncrementHistogram(buckets=4, epsilon=0.2, universe=1 << 15)
+    >>> h.extend([5, 5, 5, 900, 900, 42, 42, 42])
+    >>> hist = h.histogram()
+    >>> len(hist) <= 4
+    True
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        epsilon: float,
+        universe: int,
+        *,
+        batch_size=None,
+        include_zero_level: bool = True,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        self.target_buckets = buckets
+        self.universe = universe
+        self.ladder = ErrorLadder(
+            epsilon, universe, include_zero=include_zero_level
+        )
+        self.epsilon = epsilon
+        self._model = memory_model
+        self._summaries: list[GreedyInsertSummary] = [
+            GreedyInsertSummary(level, memory_model=memory_model)
+            for level in self.ladder
+        ]
+        self._n = 0
+        if batch_size == "auto":
+            batch_size = len(self.ladder)
+        if batch_size is not None and batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self._batch_size: Optional[int] = batch_size
+        self._buffer: list = []
+
+    # -- ingestion -------------------------------------------------------------
+
+    def insert(self, value) -> None:
+        """Process the next stream value (Algorithm 2)."""
+        self._check_domain(value)
+        self._n += 1
+        if self._batch_size is None:
+            self._insert_unbuffered(value)
+            return
+        self._buffer.append(value)
+        if len(self._buffer) >= self._batch_size:
+            self._flush_buffer()
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    def flush(self) -> None:
+        """Drain the batch buffer (no-op when unbuffered or empty)."""
+        if self._buffer:
+            self._flush_buffer()
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values accepted so far (buffered ones included)."""
+        return self._n
+
+    @property
+    def alive_levels(self) -> list[float]:
+        """Target errors whose summaries still fit in ``B`` buckets."""
+        return [s.target_error for s in self._summaries]
+
+    def best_summary(self) -> GreedyInsertSummary:
+        """The surviving summary with the smallest target error."""
+        self.flush()
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        return self._summaries[0]
+
+    def histogram(self) -> Histogram:
+        """The (1 + eps, 1)-approximate histogram (Section 2.2.1)."""
+        return self.best_summary().histogram()
+
+    @property
+    def error(self) -> float:
+        """Actual error of the answer histogram."""
+        return self.best_summary().error
+
+    def buckets_for_error(self, error: float) -> tuple[int, Optional[int]]:
+        """Dual query (Section 2.2's dual problem): buckets needed for ``error``.
+
+        Returns ``(lower, upper)`` bounds on the minimum number of buckets
+        that approximate the stream so far within ``error``:
+
+        * ``lower`` comes from the smallest surviving ladder level with
+          target >= ``error`` (a more generous budget needs fewer or equal
+          buckets, so its count bounds from below);
+        * ``upper`` comes from the largest surviving level with target
+          <= ``error`` (its partition is feasible for ``error``), or
+          ``None`` when every such level has been deleted -- then all the
+          summary can certify is ``lower``.
+        """
+        if error < 0:
+            raise InvalidParameterError(f"error must be >= 0, got {error}")
+        self.flush()
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        lower = 1
+        upper: Optional[int] = None
+        for summary in self._summaries:  # ascending targets
+            if summary.target_error <= error:
+                # Feasible at `error`; the largest such level is tightest.
+                upper = summary.bucket_count
+            else:
+                # First level above `error`: its count can only be smaller
+                # than the true answer -- and being the smallest level
+                # above, it gives the tightest lower bound.
+                lower = summary.bucket_count
+                break
+        # Monotonicity of the dual (count falls as the budget grows)
+        # guarantees lower <= upper whenever both exist.
+        return lower, upper
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: surviving summaries, ladder entries, buffer."""
+        total = sum(s.memory_bytes() for s in self._summaries)
+        total += self._model.ladder_entries(len(self._summaries))
+        total += self._model.words(len(self._buffer))
+        return total
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_domain(self, value) -> None:
+        if not 0 <= value < self.universe:
+            raise DomainError(
+                f"value {value!r} outside universe [0, {self.universe})"
+            )
+
+    def _insert_unbuffered(self, value) -> None:
+        limit = self.target_buckets
+        survivors = []
+        for summary in self._summaries:
+            summary.insert(value)
+            if summary.bucket_count <= limit or summary is self._summaries[-1]:
+                survivors.append(summary)
+        self._keep(survivors)
+
+    def _flush_buffer(self) -> None:
+        buffer = self._buffer
+        lo = min(buffer)
+        hi = max(buffer)
+        limit = self.target_buckets
+        survivors = []
+        for summary in self._summaries:
+            summary.insert_batch(buffer, lo, hi)
+            if summary.bucket_count <= limit or summary is self._summaries[-1]:
+                survivors.append(summary)
+        self._keep(survivors)
+        self._buffer = []
+
+    def _keep(self, survivors: list[GreedyInsertSummary]) -> None:
+        # The coarsest level always survives (one bucket suffices for the
+        # whole domain), so the list never empties.
+        self._summaries = survivors

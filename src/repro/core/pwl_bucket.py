@@ -1,0 +1,162 @@
+"""Piecewise-linear histogram buckets (Section 3.1).
+
+A PWL bucket approximates the stream values of its index range by the best
+L-infinity line.  That optimum depends only on the convex hull of the
+bucket's points ``(index, value)``, so the bucket stores its hull -- exact
+(:class:`~repro.geometry.convex_hull.StreamingHull`, amortized O(1) per
+point because indices increase) or size-capped
+(:class:`~repro.geometry.kernel.ApproximateHull`, the paper's Chan-coreset
+role).  The bucket's error is half the hull's vertical width; the fitted
+line bisects the optimal strip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.histogram import Segment
+from repro.exceptions import InvalidParameterError
+from repro.geometry.convex_hull import StreamingHull
+from repro.geometry.fit import LineFit, best_line_fit
+from repro.geometry.kernel import ApproximateHull
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+
+HullType = Union[StreamingHull, ApproximateHull]
+
+
+def _new_hull(hull_epsilon: Optional[float]) -> HullType:
+    if hull_epsilon is None:
+        return StreamingHull()
+    return ApproximateHull(hull_epsilon)
+
+
+class PwlBucket:
+    """One PWL bucket: an index range plus the hull of its points.
+
+    Parameters
+    ----------
+    index, value:
+        The first stream item the bucket covers.
+    hull_epsilon:
+        ``None`` keeps the exact hull; a value in (0, 1) caps the hull at
+        the directional-kernel size for that epsilon (Theorem 3/4 memory).
+    """
+
+    __slots__ = ("beg", "end", "hull", "_cached_error")
+
+    def __init__(self, index: int, value, *, hull_epsilon: Optional[float] = None):
+        self.beg = index
+        self.end = index
+        self.hull: HullType = _new_hull(hull_epsilon)
+        self.hull.add(index, value)
+        self._cached_error: Optional[float] = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of stream items covered."""
+        return self.end - self.beg + 1
+
+    @property
+    def error(self) -> float:
+        """Half the vertical width of the bucket's hull."""
+        if self._cached_error is None:
+            self._cached_error = best_line_fit(self.hull).error
+        return self._cached_error
+
+    def fit(self) -> LineFit:
+        """The optimal (Chebyshev) line for the bucket."""
+        return best_line_fit(self.hull)
+
+    def segment(self) -> Segment:
+        """The bucket rendered as a histogram segment (beg/end values)."""
+        line = self.fit()
+        return Segment(
+            self.beg, self.end, line.value_at(self.beg), line.value_at(self.end)
+        )
+
+    def add(self, value) -> None:
+        """Absorb the next stream value (at index ``end + 1``)."""
+        self.end += 1
+        self.hull.add(self.end, value)
+        self._cached_error = None
+        if isinstance(self.hull, ApproximateHull):
+            self.hull.maybe_compress()
+
+    def try_add(self, value, max_error: float) -> bool:
+        """GREEDY-INSERT trial: absorb ``value`` unless error would exceed.
+
+        Returns True (and commits) when the bucket's error stays within
+        ``max_error``; otherwise rolls the hull back and returns False.
+        """
+        self.end += 1
+        self.hull.add(self.end, value)
+        new_error = best_line_fit(self.hull).error
+        if new_error > max_error:
+            self.hull.undo_last_add()
+            self.end -= 1
+            return False
+        self._cached_error = new_error
+        if isinstance(self.hull, ApproximateHull):
+            self.hull.maybe_compress()
+        return True
+
+    def merged_with(self, other: "PwlBucket") -> "PwlBucket":
+        """MERGE for PWL MIN-MERGE: union of two adjacent buckets' hulls."""
+        if other.beg != self.end + 1:
+            raise InvalidParameterError(
+                f"buckets [{self.beg},{self.end}] and "
+                f"[{other.beg},{other.end}] are not adjacent"
+            )
+        merged = object.__new__(PwlBucket)
+        merged.beg = self.beg
+        merged.end = other.end
+        merged.hull = self.hull.union(other.hull)
+        merged._cached_error = None
+        return merged
+
+    def merge_error_with(self, other: "PwlBucket") -> float:
+        """Error of the union bucket (builds the merged hull, O(h))."""
+        return best_line_fit(self.hull.union(other.hull)).error
+
+    def memory_bytes(self, model: MemoryModel = DEFAULT_MODEL) -> int:
+        """Accounted memory: header plus stored hull chain entries."""
+        return model.pwl_headers(1) + model.hull_vertices(self.hull.stored_entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PwlBucket(beg={self.beg}, end={self.end}, "
+            f"hull_vertices={self.hull.vertex_count})"
+        )
+
+
+@dataclass(frozen=True)
+class ClosedPwlBucket:
+    """A finished PWL bucket stored as its fitted segment (Theorem 4).
+
+    MIN-INCREMENT only ever extends its *open* bucket, so closed buckets
+    drop their hulls and keep the 4-word tuple ``(beg, end, left, right)``
+    the paper describes, plus the realized error for reporting.
+    """
+
+    beg: int
+    end: int
+    left: float
+    right: float
+    error: float
+
+    def segment(self) -> Segment:
+        """The stored fitted line as a histogram segment."""
+        return Segment(self.beg, self.end, self.left, self.right)
+
+    @classmethod
+    def from_bucket(cls, bucket: PwlBucket) -> "ClosedPwlBucket":
+        """Freeze an open bucket: fit its line, drop its hull."""
+        line = bucket.fit()
+        return cls(
+            beg=bucket.beg,
+            end=bucket.end,
+            left=line.value_at(bucket.beg),
+            right=line.value_at(bucket.end),
+            error=line.error,
+        )

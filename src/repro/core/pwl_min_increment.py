@@ -1,0 +1,205 @@
+"""PWL MIN-INCREMENT (Section 3.2, Theorem 4).
+
+Same ladder-of-greedy-summaries skeleton as the serial MIN-INCREMENT, with
+two PWL-specific twists straight from the paper:
+
+* the *open* bucket of each summary maintains a convex hull (exact or
+  size-capped) so arriving points can be tested against the target error --
+  the error of a PWL bucket is monotone under point insertion (the hull
+  only grows), so the greedy dual optimality argument of Lemma 2 carries
+  over unchanged;
+* a *closed* bucket immediately drops its hull and keeps only the fitted
+  4-word segment ``(beg, end, left, right)``, which is what keeps the space
+  at ``O(eps^-1 B log U)`` for the buckets plus one hull's worth of
+  ``O(eps^{-3/2} log(1/eps) log U)`` across the ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.error_ladder import ErrorLadder
+from repro.core.histogram import Histogram
+from repro.core.pwl_bucket import ClosedPwlBucket, PwlBucket
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+
+
+class PwlGreedyInsertSummary:
+    """Minimum-bucket PWL approximation for one target error."""
+
+    __slots__ = ("target_error", "hull_epsilon", "closed", "open", "_next_index")
+
+    def __init__(
+        self,
+        target_error: float,
+        *,
+        hull_epsilon: Optional[float] = None,
+        start_index: int = 0,
+    ):
+        if target_error < 0:
+            raise InvalidParameterError(
+                f"target_error must be >= 0, got {target_error}"
+            )
+        self.target_error = target_error
+        self.hull_epsilon = hull_epsilon
+        self.closed: list[ClosedPwlBucket] = []
+        self.open: Optional[PwlBucket] = None
+        self._next_index = start_index
+
+    def insert(self, value) -> None:
+        """GREEDY-INSERT one value against the PWL bucket error."""
+        if self.open is None:
+            self.open = PwlBucket(
+                self._next_index, value, hull_epsilon=self.hull_epsilon
+            )
+        elif not self.open.try_add(value, self.target_error):
+            self.closed.append(ClosedPwlBucket.from_bucket(self.open))
+            self.open = PwlBucket(
+                self._next_index, value, hull_epsilon=self.hull_epsilon
+            )
+        self._next_index += 1
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    @property
+    def bucket_count(self) -> int:
+        """Buckets used so far, counting the open one."""
+        return len(self.closed) + (1 if self.open is not None else 0)
+
+    @property
+    def error(self) -> float:
+        """Largest bucket error so far (always <= target_error)."""
+        if self.bucket_count == 0:
+            raise EmptySummaryError("no values inserted yet")
+        worst = 0.0
+        for bucket in self.closed:
+            if bucket.error > worst:
+                worst = bucket.error
+        if self.open is not None and self.open.error > worst:
+            worst = self.open.error
+        return worst
+
+    def histogram(self) -> Histogram:
+        """The current piecewise-linear approximation."""
+        if self.bucket_count == 0:
+            raise EmptySummaryError("no values inserted yet")
+        segments = [bucket.segment() for bucket in self.closed]
+        if self.open is not None:
+            segments.append(self.open.segment())
+        return Histogram(segments, self.error)
+
+    def memory_bytes(self, model: MemoryModel = DEFAULT_MODEL) -> int:
+        """Closed buckets at 4 words each plus the open bucket's hull."""
+        total = model.buckets(len(self.closed))
+        if self.open is not None:
+            total += self.open.memory_bytes(model)
+        return total
+
+
+class PwlMinIncrementHistogram:
+    """Streaming (1 + eps, 1)-approximate piecewise-linear histogram.
+
+    Parameters
+    ----------
+    buckets:
+        Target bucket count ``B``.
+    epsilon:
+        Ladder approximation parameter in (0, 1).
+    universe:
+        Size ``U`` of the integer value domain ``[0, U)``.
+    hull_epsilon:
+        Width slack of the open buckets' approximate hulls; ``None`` keeps
+        exact hulls.  When set, the effective approximation factor composes
+        to roughly ``(1 + epsilon) / (1 - hull_epsilon)``.
+    memory_model:
+        Cost model used by :meth:`memory_bytes`.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        epsilon: float,
+        universe: int,
+        *,
+        hull_epsilon: Optional[float] = None,
+        include_zero_level: bool = True,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        self.target_buckets = buckets
+        self.epsilon = epsilon
+        self.universe = universe
+        self.hull_epsilon = hull_epsilon
+        self.ladder = ErrorLadder(
+            epsilon, universe, include_zero=include_zero_level
+        )
+        self._model = memory_model
+        self._summaries = [
+            PwlGreedyInsertSummary(level, hull_epsilon=hull_epsilon)
+            for level in self.ladder
+        ]
+        self._n = 0
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def insert(self, value) -> None:
+        """Process the next stream value."""
+        if not 0 <= value < self.universe:
+            raise DomainError(
+                f"value {value!r} outside universe [0, {self.universe})"
+            )
+        self._n += 1
+        limit = self.target_buckets
+        survivors = []
+        for summary in self._summaries:
+            summary.insert(value)
+            if summary.bucket_count <= limit or summary is self._summaries[-1]:
+                survivors.append(summary)
+        self._summaries = survivors
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed so far."""
+        return self._n
+
+    @property
+    def alive_levels(self) -> list[float]:
+        """Target errors whose summaries still fit in ``B`` buckets."""
+        return [s.target_error for s in self._summaries]
+
+    def best_summary(self) -> PwlGreedyInsertSummary:
+        """The surviving summary with the smallest target error."""
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        return self._summaries[0]
+
+    def histogram(self) -> Histogram:
+        """The (1 + eps, 1)-approximate PWL histogram."""
+        return self.best_summary().histogram()
+
+    @property
+    def error(self) -> float:
+        """Actual error of the answer histogram."""
+        return self.best_summary().error
+
+    def memory_bytes(self) -> int:
+        """Accounted memory across the surviving summaries."""
+        total = sum(s.memory_bytes(self._model) for s in self._summaries)
+        total += self._model.ladder_entries(len(self._summaries))
+        return total

@@ -1,0 +1,167 @@
+"""PWL MIN-MERGE (Section 3.2, Theorem 3).
+
+Identical control flow to the serial MIN-MERGE -- keep at most ``2B``
+buckets, always merge the adjacent pair whose union has the least error --
+but each bucket is a :class:`~repro.core.pwl_bucket.PwlBucket` whose error
+is the optimal line-fit error of its hull, and MERGE unions the two hulls
+(linear time, since the buckets are adjacent and hence x-disjoint).
+
+With size-capped hulls (``hull_epsilon`` set) this is the paper's
+(1 + eps, 2)-approximation in ``O(eps^{-1/2} B log(1/eps))`` memory; with
+exact hulls (``hull_epsilon=None``) the approximation is exactly (1, 2) at
+data-dependent memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.histogram import Histogram
+from repro.core.pwl_bucket import PwlBucket
+from repro.exceptions import EmptySummaryError, InvalidParameterError
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.structures.heap import AddressableMinHeap
+from repro.structures.linked_list import BucketList, BucketNode
+
+
+class PwlMinMergeHistogram:
+    """Streaming (1 + eps, 2)-approximate piecewise-linear histogram.
+
+    Parameters
+    ----------
+    buckets:
+        Target bucket count ``B``; up to ``2 * B`` working buckets.
+    hull_epsilon:
+        Relative width slack of the per-bucket approximate hulls (the
+        ``eps`` of Theorem 3).  ``None`` keeps exact hulls.
+    working_buckets:
+        Override for the working budget (defaults to ``2 * buckets``).
+    memory_model:
+        Cost model used by :meth:`memory_bytes`.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        *,
+        hull_epsilon: Optional[float] = 0.1,
+        working_buckets: Optional[int] = None,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        if working_buckets is None:
+            working_buckets = 2 * buckets
+        if working_buckets < 1:
+            raise InvalidParameterError(
+                f"working_buckets must be >= 1, got {working_buckets}"
+            )
+        self.target_buckets = buckets
+        self.working_buckets = working_buckets
+        self.hull_epsilon = hull_epsilon
+        self._model = memory_model
+        self._list = BucketList()
+        self._heap = AddressableMinHeap()
+        self._n = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def insert(self, value) -> None:
+        """Process the next stream value."""
+        bucket = PwlBucket(self._n, value, hull_epsilon=self.hull_epsilon)
+        node = self._list.append(bucket)
+        if node.prev is not None:
+            self._push_pair_key(node.prev)
+        if len(self._list) > self.working_buckets:
+            self._merge_min_pair()
+        self._n += 1
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed so far."""
+        return self._n
+
+    @property
+    def bucket_count(self) -> int:
+        """Current number of working buckets."""
+        return len(self._list)
+
+    @property
+    def error(self) -> float:
+        """Current summary error (largest bucket line-fit error)."""
+        if not self._list:
+            raise EmptySummaryError("no values inserted yet")
+        return max(node.bucket.error for node in self._list)
+
+    def buckets_snapshot(self) -> list[PwlBucket]:
+        """The current buckets, in stream order (shared, do not mutate)."""
+        return self._list.buckets()
+
+    def histogram(self) -> Histogram:
+        """The current piecewise-linear approximation."""
+        if not self._list:
+            raise EmptySummaryError("no values inserted yet")
+        segments = [node.bucket.segment() for node in self._list]
+        return Histogram(segments, self.error)
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: bucket headers, hull vertices, heap entries."""
+        total = self._model.heap_entries(len(self._heap))
+        for node in self._list:
+            total += node.bucket.memory_bytes(self._model)
+        return total
+
+    def check_min_merge_property(self) -> None:
+        """PWL analogue of the serial min-merge invariant (tests).
+
+        With exact hulls the property is exact; with approximate hulls it
+        holds up to the hull width slack, so the check allows a
+        ``(1 - hull_epsilon)`` margin.
+        """
+        if len(self._list) < 2:
+            return
+        slack = 1.0 if self.hull_epsilon is None else 1.0 - self.hull_epsilon
+        current = self.error
+        for node in self._list:
+            if node.next is None:
+                continue
+            pair_error = node.bucket.merge_error_with(node.next.bucket)
+            if pair_error >= slack * current - 1e-9:
+                continue
+            raise AssertionError(
+                f"PWL min-merge property violated: pair at [{node.bucket.beg},"
+                f"{node.next.bucket.end}] merges with error {pair_error} "
+                f"< {slack} * err(S) = {slack * current}"
+            )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _push_pair_key(self, left: BucketNode) -> None:
+        key = left.bucket.merge_error_with(left.next.bucket)
+        left.pair_handle = self._heap.push(key, left)
+
+    def _drop_pair_key(self, left: BucketNode) -> None:
+        if left.pair_handle is not None:
+            self._heap.remove(left.pair_handle)
+            left.pair_handle = None
+
+    def _merge_min_pair(self) -> None:
+        _key, left = self._heap.pop_min()
+        left.pair_handle = None
+        right = left.next
+        self._drop_pair_key(right)
+        if left.prev is not None:
+            self._drop_pair_key(left.prev)
+        left.bucket = left.bucket.merged_with(right.bucket)
+        self._list.remove(right)
+        if left.prev is not None:
+            self._push_pair_key(left.prev)
+        if left.next is not None:
+            self._push_pair_key(left)

@@ -1,0 +1,216 @@
+"""Sliding-window MIN-INCREMENT (Section 4.1, Theorem 5).
+
+The sliding-window model asks for a histogram of only the most recent ``w``
+stream values.  Lemma 3 shows no sublinear-memory algorithm can match the
+optimal B-bucket error exactly, so the paper settles for
+``(1 + eps, 1 + 1/B)``: at most ``B + 1`` buckets with error within
+``(1 + eps)`` of the optimal B-bucket error for the current window.
+
+Mechanics, per target error ``e_i`` of the ladder:
+
+* GREEDY-INSERT as usual at the right end of the window;
+* *expire* any bucket that lies entirely outside the window;
+* if the summary exceeds ``B + 1`` buckets, *trim* the oldest bucket even
+  though it is still inside the window (Lemma 4 justifies this: the window's
+  optimal B-bucket error must already exceed ``e_i``, so the summary only
+  needs to stay useful for future windows).
+
+A summary whose oldest bucket no longer reaches back to the window start is
+*incomplete* (it was trimmed recently) and cannot answer for the current
+window; at query time we use the smallest-error summary that covers the
+whole window with at most ``B + 1`` buckets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+from repro.core.bucket import Bucket
+from repro.core.error_ladder import ErrorLadder
+from repro.core.histogram import Histogram, Segment
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+
+
+class _WindowedGreedySummary:
+    """GREEDY-INSERT with the expiry and trim policies of Section 4.1."""
+
+    __slots__ = ("target_error", "closed", "open")
+
+    def __init__(self, target_error: float):
+        self.target_error = target_error
+        self.closed: Deque[Bucket] = deque()
+        self.open: Optional[Bucket] = None
+
+    def insert(self, index: int, value) -> None:
+        if self.open is None:
+            self.open = Bucket.singleton(index, value)
+        elif self.open.would_extend_error(value) <= self.target_error:
+            self.open.extend(value)
+        else:
+            self.closed.append(self.open)
+            self.open = Bucket.singleton(index, value)
+
+    def expire(self, window_start: int) -> None:
+        """Drop buckets entirely outside the window (end < window_start)."""
+        while self.closed and self.closed[0].end < window_start:
+            self.closed.popleft()
+        # The open bucket always ends at the newest item, inside the window.
+
+    def trim_to(self, max_buckets: int) -> None:
+        """Drop oldest buckets until at most ``max_buckets`` remain."""
+        while self.bucket_count > max_buckets and self.closed:
+            self.closed.popleft()
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.closed) + (1 if self.open is not None else 0)
+
+    def oldest_index(self) -> Optional[int]:
+        if self.closed:
+            return self.closed[0].beg
+        if self.open is not None:
+            return self.open.beg
+        return None
+
+    def buckets_snapshot(self) -> list[Bucket]:
+        out = [Bucket(b.beg, b.end, b.min, b.max) for b in self.closed]
+        if self.open is not None:
+            b = self.open
+            out.append(Bucket(b.beg, b.end, b.min, b.max))
+        return out
+
+
+class SlidingWindowMinIncrement:
+    """(1 + eps, 1 + 1/B)-approximate histogram over a sliding window.
+
+    Parameters
+    ----------
+    buckets:
+        Target bucket count ``B``; answers use at most ``B + 1`` buckets.
+    epsilon:
+        Approximation parameter in (0, 1).
+    universe:
+        Size ``U`` of the integer value domain ``[0, U)``.
+    window:
+        Window length ``w >= 1``: queries describe the last ``w`` values.
+    memory_model:
+        Cost model used by :meth:`memory_bytes`.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        epsilon: float,
+        universe: int,
+        window: int,
+        *,
+        include_zero_level: bool = True,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        if window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        self.target_buckets = buckets
+        self.window = window
+        self.universe = universe
+        self.epsilon = epsilon
+        self.ladder = ErrorLadder(
+            epsilon, universe, include_zero=include_zero_level
+        )
+        self._model = memory_model
+        self._summaries = [
+            _WindowedGreedySummary(level) for level in self.ladder
+        ]
+        self._n = 0
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def insert(self, value) -> None:
+        """Process the next stream value."""
+        if not 0 <= value < self.universe:
+            raise DomainError(
+                f"value {value!r} outside universe [0, {self.universe})"
+            )
+        index = self._n
+        self._n += 1
+        window_start = self.window_start
+        max_buckets = self.target_buckets + 1
+        for summary in self._summaries:
+            summary.insert(index, value)
+            summary.expire(window_start)
+            summary.trim_to(max_buckets)
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed so far."""
+        return self._n
+
+    @property
+    def window_start(self) -> int:
+        """First stream index inside the current window."""
+        return max(0, self._n - self.window)
+
+    def best_summary(self) -> _WindowedGreedySummary:
+        """Smallest-error summary that fully covers the current window."""
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        window_start = self.window_start
+        for summary in self._summaries:
+            oldest = summary.oldest_index()
+            if oldest is not None and oldest <= window_start:
+                return summary
+        # The coarsest level is never trimmed (it always needs one bucket),
+        # so this is unreachable; guard for safety.
+        raise EmptySummaryError(
+            "no summary covers the current window"
+        )  # pragma: no cover
+
+    def histogram(self) -> Histogram:
+        """Histogram of the last ``w`` values, clipped to the window.
+
+        The first bucket may have been opened before the window started; its
+        index range is clipped, while its min/max (a superset of the window
+        portion) still bound the error, preserving the ``(1 + eps)``
+        guarantee.
+        """
+        summary = self.best_summary()
+        window_start = self.window_start
+        segments = []
+        worst = 0.0
+        for bucket in summary.buckets_snapshot():
+            beg = max(bucket.beg, window_start)
+            segments.append(
+                Segment(beg, bucket.end, bucket.representative, bucket.representative)
+            )
+            if bucket.error > worst:
+                worst = bucket.error
+        return Histogram(segments, worst)
+
+    @property
+    def error(self) -> float:
+        """Error of the current window's answer histogram."""
+        return self.histogram().error
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: all per-level buckets plus ladder entries."""
+        total = 0
+        for summary in self._summaries:
+            total += self._model.buckets(len(summary.closed))
+            if summary.open is not None:
+                total += self._model.open_buckets(1)
+        total += self._model.ladder_entries(len(self._summaries))
+        return total

@@ -1,0 +1,42 @@
+"""Workload data: synthetic generators and the paper's three datasets."""
+
+from repro.data.generators import (
+    ar1_process,
+    brownian_walk,
+    mixture_stream,
+    sine_wave,
+    spike_train,
+    step_function,
+    uniform_noise,
+)
+from repro.data.datasets import (
+    DEFAULT_UNIVERSE,
+    DatasetSpec,
+    brownian,
+    dataset_by_name,
+    dow_jones,
+    list_datasets,
+    merced,
+)
+from repro.data.quantize import quantize_to_universe
+from repro.data.io import load_quantized, load_series
+
+__all__ = [
+    "ar1_process",
+    "brownian_walk",
+    "mixture_stream",
+    "sine_wave",
+    "spike_train",
+    "step_function",
+    "uniform_noise",
+    "DEFAULT_UNIVERSE",
+    "DatasetSpec",
+    "brownian",
+    "dataset_by_name",
+    "dow_jones",
+    "list_datasets",
+    "merced",
+    "quantize_to_universe",
+    "load_series",
+    "load_quantized",
+]

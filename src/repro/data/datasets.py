@@ -1,0 +1,160 @@
+"""The paper's three evaluation datasets (Section 5).
+
+* *Dow-Jones* -- DJIA daily closes 1900-1993 (StatLib), 25771 points.
+* *Merced* -- hourly flow of the Merced river at Happy Isles (CDEC),
+  65536 points.
+* *Brownian* -- synthetic 1-D random walk, 1 million points.
+
+The two real datasets are not redistributable/reachable offline, so this
+module generates seeded synthetic proxies with the same length, domain and
+qualitative character (DESIGN.md item 3):
+
+* the DJIA proxy is a geometric random walk with mild drift and volatility
+  clustering -- trending and locally smooth, which is what makes PWL
+  buckets pay off in Figure 9;
+* the Merced proxy superimposes an annual snowmelt seasonality, a diurnal
+  cycle, occasional flood spikes, and noise on a baseline flow -- bursty
+  data that rewards adaptive bucket boundaries.
+
+All three are quantized to integers in ``[0, 2^15)`` exactly as the paper
+states, so every algorithm sees the same domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.quantize import quantize_to_universe
+from repro.exceptions import InvalidParameterError
+
+#: The paper's value domain: "integers in the range [0, 2^15 - 1]".
+DEFAULT_UNIVERSE = 1 << 15
+
+#: Dataset lengths quoted in Section 5.
+DOW_JONES_LENGTH = 25771
+MERCED_LENGTH = 65536
+BROWNIAN_LENGTH = 1_000_000
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: name, paper length, and the loader callable."""
+
+    name: str
+    paper_length: int
+    description: str
+    loader: Callable[..., list[int]]
+
+
+def dow_jones(
+    n: Optional[int] = None, *, seed: int = 1900, universe: int = DEFAULT_UNIVERSE
+) -> list[int]:
+    """Synthetic proxy for the DJIA daily-close series (25771 points).
+
+    Geometric random walk: log-returns are Gaussian with a small positive
+    drift and GARCH-flavoured volatility clustering (slowly varying sigma),
+    mirroring the index's long upward trend punctuated by turbulent
+    stretches.
+    """
+    n = _resolve_length(n, DOW_JONES_LENGTH)
+    rng = np.random.default_rng(seed)
+    # Volatility follows a slow AR(1) in log-space: calm and stormy eras.
+    log_vol = np.empty(n)
+    log_vol[0] = np.log(0.01)
+    vol_shocks = rng.normal(0.0, 0.08, size=n)
+    for i in range(1, n):
+        log_vol[i] = 0.995 * log_vol[i - 1] + 0.005 * np.log(0.01) + vol_shocks[i]
+    sigma = np.exp(log_vol)
+    returns = rng.normal(0.0002, 1.0, size=n) * sigma
+    log_price = np.cumsum(returns) + np.log(40.0)
+    return quantize_to_universe(np.exp(log_price), universe)
+
+
+def merced(
+    n: Optional[int] = None, *, seed: int = 1997, universe: int = DEFAULT_UNIVERSE
+) -> list[int]:
+    """Synthetic proxy for the Merced river hourly flow (65536 points).
+
+    Annual snowmelt seasonality (peaking late spring), a faint diurnal
+    cycle, multiplicative noise, and occasional flood spikes with fast
+    exponential decay.  Flows are non-negative and strongly bursty.
+    """
+    n = _resolve_length(n, MERCED_LENGTH)
+    rng = np.random.default_rng(seed)
+    hours = np.arange(n)
+    year = 24.0 * 365.25
+    # Snowmelt season: raised-cosine bump peaking around hour-of-year ~0.45.
+    phase = (hours % year) / year
+    seasonal = np.clip(np.cos(2 * np.pi * (phase - 0.45)), 0.0, None) ** 3
+    diurnal = 0.05 * np.sin(2 * np.pi * hours / 24.0)
+    base = 30.0 + 1500.0 * seasonal * (1.0 + diurnal)
+    noise = np.exp(rng.normal(0.0, 0.15, size=n))
+    flow = base * noise
+    # Flood events: Poisson arrivals, sharp rise, exponential recession.
+    n_events = max(1, int(n / 6000))
+    starts = rng.integers(0, n, size=n_events)
+    for start in starts:
+        height = rng.uniform(2000.0, 9000.0)
+        length = int(rng.uniform(24, 24 * 14))
+        end = min(n, start + length)
+        decay = np.exp(-np.arange(end - start) / (length / 4.0))
+        flow[start:end] += height * decay
+    return quantize_to_universe(flow, universe)
+
+
+def brownian(
+    n: Optional[int] = None, *, seed: int = 42, universe: int = DEFAULT_UNIVERSE
+) -> list[int]:
+    """The paper's synthetic Brownian dataset (1 million points).
+
+    A plain Gaussian random walk quantized to the integer domain -- this
+    one is not a proxy; it matches the paper's construction directly.
+    """
+    n = _resolve_length(n, BROWNIAN_LENGTH)
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0.0, 1.0, size=n)
+    steps[0] = 0.0
+    return quantize_to_universe(np.cumsum(steps), universe)
+
+
+_REGISTRY = {
+    "dow-jones": DatasetSpec(
+        "dow-jones", DOW_JONES_LENGTH,
+        "DJIA daily closes proxy (trending geometric walk)", dow_jones,
+    ),
+    "merced": DatasetSpec(
+        "merced", MERCED_LENGTH,
+        "Merced river hourly flow proxy (seasonal + flood spikes)", merced,
+    ),
+    "brownian": DatasetSpec(
+        "brownian", BROWNIAN_LENGTH,
+        "1-D Gaussian random walk (as in the paper)", brownian,
+    ),
+}
+
+
+def list_datasets() -> list[DatasetSpec]:
+    """All registered datasets, in the paper's order."""
+    return list(_REGISTRY.values())
+
+
+def dataset_by_name(name: str) -> DatasetSpec:
+    """Look a dataset up by its registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; known datasets: {known}"
+        ) from None
+
+
+def _resolve_length(n: Optional[int], default: int) -> int:
+    if n is None:
+        return default
+    if n < 1:
+        raise InvalidParameterError(f"length must be >= 1, got {n}")
+    return n

@@ -1,0 +1,147 @@
+"""Seeded synthetic stream generators.
+
+All generators return plain Python lists of floats (quantize separately via
+:func:`repro.data.quantize.quantize_to_universe`) and take an explicit
+``seed`` so every experiment, test, and benchmark is reproducible.  numpy
+is used for the heavy lifting; the outputs are ordinary lists because the
+streaming algorithms consume one value at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_length(n: int) -> None:
+    if n < 1:
+        raise InvalidParameterError(f"length must be >= 1, got {n}")
+
+
+def brownian_walk(n: int, *, seed: int = 0, step: float = 1.0) -> list[float]:
+    """One-dimensional random walk (the paper's *Brownian* dataset shape).
+
+    Gaussian steps of standard deviation ``step``, starting at 0.
+    """
+    _check_length(n)
+    rng = _rng(seed)
+    steps = rng.normal(0.0, step, size=n)
+    steps[0] = 0.0
+    return np.cumsum(steps).tolist()
+
+
+def uniform_noise(n: int, *, seed: int = 0, low: float = 0.0, high: float = 1.0) -> list[float]:
+    """I.i.d. uniform values in ``[low, high)`` -- a worst case for bucketing."""
+    _check_length(n)
+    if high <= low:
+        raise InvalidParameterError(f"need low < high, got [{low}, {high})")
+    return _rng(seed).uniform(low, high, size=n).tolist()
+
+
+def sine_wave(
+    n: int,
+    *,
+    seed: int = 0,
+    periods: float = 4.0,
+    noise: float = 0.0,
+    amplitude: float = 1.0,
+) -> list[float]:
+    """Sinusoid with optional Gaussian noise -- smooth, PWL-friendly data."""
+    _check_length(n)
+    t = np.linspace(0.0, 2.0 * np.pi * periods, n)
+    wave = amplitude * np.sin(t)
+    if noise > 0.0:
+        wave = wave + _rng(seed).normal(0.0, noise, size=n)
+    return wave.tolist()
+
+
+def step_function(
+    n: int,
+    *,
+    seed: int = 0,
+    steps: int = 16,
+    low: float = 0.0,
+    high: float = 1.0,
+    jitter: float = 0.0,
+) -> list[float]:
+    """Piecewise-constant levels -- the best case for serial histograms.
+
+    ``steps`` random levels over equal-length plateaus, optionally wiggled
+    by Gaussian ``jitter``.
+    """
+    _check_length(n)
+    if steps < 1:
+        raise InvalidParameterError(f"steps must be >= 1, got {steps}")
+    rng = _rng(seed)
+    levels = rng.uniform(low, high, size=steps)
+    series = np.repeat(levels, int(np.ceil(n / steps)))[:n]
+    if jitter > 0.0:
+        series = series + rng.normal(0.0, jitter, size=n)
+    return series.tolist()
+
+
+def spike_train(
+    n: int,
+    *,
+    seed: int = 0,
+    spike_probability: float = 0.01,
+    base: float = 0.0,
+    spike_height: float = 10.0,
+    noise: float = 0.1,
+) -> list[float]:
+    """Flat baseline with rare large spikes -- the anomaly-detection shape.
+
+    This is the workload the paper's monitoring motivation cares about:
+    L-infinity histograms must keep the spikes visible while L2-oriented
+    summaries may smooth them away.
+    """
+    _check_length(n)
+    if not 0.0 <= spike_probability <= 1.0:
+        raise InvalidParameterError(
+            f"spike_probability must lie in [0, 1], got {spike_probability}"
+        )
+    rng = _rng(seed)
+    series = rng.normal(base, noise, size=n)
+    spikes = rng.random(n) < spike_probability
+    series[spikes] += spike_height * rng.uniform(0.5, 1.0, size=int(spikes.sum()))
+    return series.tolist()
+
+
+def ar1_process(
+    n: int, *, seed: int = 0, phi: float = 0.98, sigma: float = 1.0
+) -> list[float]:
+    """AR(1) process ``x_t = phi x_{t-1} + N(0, sigma)`` -- correlated noise."""
+    _check_length(n)
+    if not -1.0 < phi < 1.0:
+        raise InvalidParameterError(f"phi must lie in (-1, 1), got {phi}")
+    rng = _rng(seed)
+    shocks = rng.normal(0.0, sigma, size=n)
+    series = np.empty(n)
+    series[0] = shocks[0]
+    for i in range(1, n):
+        series[i] = phi * series[i - 1] + shocks[i]
+    return series.tolist()
+
+
+def mixture_stream(n: int, *, seed: int = 0) -> list[float]:
+    """Concatenation of heterogeneous regimes (trend, plateau, noise, spikes).
+
+    Useful for exercising bucket-boundary placement: a good max-error
+    histogram spends buckets on the busy regimes and almost none on the
+    plateaus.
+    """
+    _check_length(n)
+    rng = _rng(seed)
+    quarter = max(1, n // 4)
+    parts = [
+        np.linspace(0.0, 50.0, quarter) + rng.normal(0, 0.5, quarter),
+        np.full(quarter, 50.0) + rng.normal(0, 0.2, quarter),
+        50.0 + np.cumsum(rng.normal(0, 1.5, quarter)),
+        rng.uniform(0.0, 100.0, n - 3 * quarter),
+    ]
+    return np.concatenate(parts)[:n].tolist()

@@ -1,0 +1,110 @@
+"""Loading real series from files.
+
+The paper's datasets came from flat files (StatLib's DJIA closes, CDEC's
+river gauge exports); adopters with the originals -- or any one-column
+numeric data -- load them here and feed the result straight into the
+algorithms, optionally quantizing into the paper's integer domain.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Optional, Union
+
+from repro.data.quantize import quantize_to_universe
+from repro.exceptions import InvalidParameterError
+
+PathLike = Union[str, pathlib.Path]
+
+
+def load_series(
+    path: PathLike,
+    *,
+    column: Optional[Union[int, str]] = None,
+    delimiter: str = ",",
+    skip_rows: int = 0,
+    limit: Optional[int] = None,
+) -> list[float]:
+    """Load one numeric column from a text/CSV file.
+
+    Parameters
+    ----------
+    path:
+        File to read.  Blank lines are skipped.
+    column:
+        ``None`` for single-column files, a 0-based index, or a header
+        name (the first row is then treated as the header).
+    delimiter:
+        Field separator.
+    skip_rows:
+        Leading rows to drop (before any header handling).
+    limit:
+        Stop after this many values.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"no such file: {path}")
+    values: list[float] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = (row for row in reader if any(cell.strip() for cell in row))
+        for _ in range(skip_rows):
+            next(rows, None)
+        index: Optional[int]
+        if isinstance(column, str):
+            header = next(rows, None)
+            if header is None:
+                raise InvalidParameterError(f"{path}: empty file")
+            stripped = [cell.strip() for cell in header]
+            try:
+                index = stripped.index(column)
+            except ValueError:
+                raise InvalidParameterError(
+                    f"{path}: no column named {column!r}; "
+                    f"header was {stripped}"
+                ) from None
+        else:
+            index = column
+        for line_no, row in enumerate(rows, start=1):
+            pick = index if index is not None else 0
+            if pick >= len(row):
+                raise InvalidParameterError(
+                    f"{path}: row {line_no} has no column {pick}"
+                )
+            cell = row[pick]
+            try:
+                values.append(float(cell))
+            except ValueError:
+                raise InvalidParameterError(
+                    f"{path}: non-numeric value {cell!r} at row {line_no}"
+                ) from None
+            if limit is not None and len(values) >= limit:
+                break
+    if not values:
+        raise InvalidParameterError(f"{path}: no values found")
+    return values
+
+
+def load_quantized(
+    path: PathLike,
+    *,
+    universe: int = 1 << 15,
+    column: Optional[Union[int, str]] = None,
+    delimiter: str = ",",
+    skip_rows: int = 0,
+    limit: Optional[int] = None,
+) -> list[int]:
+    """Load a series and quantize it to integers in ``[0, universe)``.
+
+    This reproduces the paper's preprocessing exactly: "All the values are
+    integers in the range [0, 2^15 - 1]".
+    """
+    series = load_series(
+        path,
+        column=column,
+        delimiter=delimiter,
+        skip_rows=skip_rows,
+        limit=limit,
+    )
+    return quantize_to_universe(series, universe)

@@ -1,0 +1,35 @@
+"""Quantization of raw series into the paper's integer value domain.
+
+Section 5: "All the values are integers in the range [0, 2^15 - 1]".  The
+generators produce float series; this module maps them affinely onto the
+integer universe ``[0, U)`` so every algorithm sees the same domain the
+paper used.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def quantize_to_universe(values: Sequence[float], universe: int) -> list[int]:
+    """Affinely map ``values`` onto integers in ``[0, universe)``.
+
+    A constant input maps to the midpoint of the domain.  The mapping is
+    monotone, so the *shape* of the series (trends, spikes, crossings) is
+    preserved exactly; only the scale changes.
+    """
+    if universe < 2:
+        raise InvalidParameterError(f"universe must be at least 2, got {universe}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return []
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi == lo:
+        return [universe // 2] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (universe - 1)
+    return [int(v) for v in np.rint(scaled).astype(np.int64)]

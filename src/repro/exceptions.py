@@ -1,0 +1,30 @@
+"""Typed exceptions raised by the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single base class.  More specific subclasses identify the failure mode:
+
+* :class:`InvalidParameterError` -- a constructor or function argument is out
+  of its documented range (for example ``buckets < 1`` or ``epsilon >= 1``).
+* :class:`DomainError` -- a stream value is outside the declared universe
+  ``[0, U)`` or is not a real number.
+* :class:`EmptySummaryError` -- a histogram was requested from a summary that
+  has seen no data (or, in the sliding-window model, whose window is empty).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its documented range."""
+
+
+class DomainError(ReproError, ValueError):
+    """A stream value lies outside the declared value universe."""
+
+
+class EmptySummaryError(ReproError, RuntimeError):
+    """A histogram was requested before any value was inserted."""

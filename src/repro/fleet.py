@@ -1,0 +1,192 @@
+"""Managing summaries for many concurrent streams (the StatStream scenario).
+
+The paper's second motivation (Section 1): systems like StatStream monitor
+thousands of time series at once and answer similarity queries from
+compressed representations, so the per-stream summary must be tiny and the
+manager must answer "who is closest to X?" without touching raw data.
+
+:class:`StreamFleet` owns one summary per stream (any algorithm from the
+harness registry), ingests values per stream or in lockstep rows, and
+answers L-infinity similarity queries with *guaranteed bounds* derived
+from the summaries alone (:func:`repro.metrics.errors.series_linf_distance`):
+for histograms with errors ``e1``/``e2`` and reconstruction gap ``dhat``,
+the true distance lies in ``[dhat - e1 - e2, dhat + e1 + e2]``.
+:meth:`StreamFleet.nearest` ranks candidates by upper bound and reports
+which are *provably* closer than the rest (their upper bound beats every
+other lower bound).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+from repro.core.histogram import Histogram
+from repro.exceptions import InvalidParameterError
+from repro.harness.runner import make_algorithm
+from repro.metrics.errors import series_linf_distance
+
+
+class StreamFleet:
+    """One histogram summary per stream, with similarity queries on top.
+
+    Parameters
+    ----------
+    buckets, epsilon, universe:
+        Shared summary configuration (see :func:`make_algorithm`).
+    algorithm:
+        Registry name of the summary type (default ``"min-merge"``).
+    window:
+        Window length for the sliding-window algorithms.
+
+    Examples
+    --------
+    >>> fleet = StreamFleet(buckets=8)
+    >>> for t in range(100):
+    ...     fleet.insert_row({"a": t % 7, "b": t % 7, "c": 3 * (t % 5)})
+    >>> low, high = fleet.distance_bounds("a", "b")
+    >>> low == 0.0
+    True
+    """
+
+    def __init__(
+        self,
+        buckets: int = 32,
+        *,
+        algorithm: str = "min-merge",
+        epsilon: float = 0.2,
+        universe: int = 1 << 15,
+        window: Optional[int] = None,
+    ):
+        self._config = {
+            "buckets": buckets,
+            "epsilon": epsilon,
+            "universe": universe,
+            "window": window,
+        }
+        self._algorithm = algorithm
+        # Validate the configuration once, eagerly.
+        make_algorithm(algorithm, **self._config)
+        self._summaries: dict[Hashable, object] = {}
+
+    # -- stream management -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __contains__(self, stream_id: Hashable) -> bool:
+        return stream_id in self._summaries
+
+    @property
+    def ids(self) -> list:
+        """Registered stream ids, in insertion order."""
+        return list(self._summaries)
+
+    def add_stream(self, stream_id: Hashable) -> None:
+        """Register a stream explicitly (insert registers implicitly too)."""
+        if stream_id in self._summaries:
+            raise InvalidParameterError(f"stream {stream_id!r} already exists")
+        self._summaries[stream_id] = make_algorithm(
+            self._algorithm, **self._config
+        )
+
+    def remove_stream(self, stream_id: Hashable) -> None:
+        """Drop a stream and free its summary."""
+        try:
+            del self._summaries[stream_id]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown stream {stream_id!r}"
+            ) from None
+
+    # -- ingestion ----------------------------------------------------------
+
+    def insert(self, stream_id: Hashable, value) -> None:
+        """Append one value to one stream (auto-registering it)."""
+        summary = self._summaries.get(stream_id)
+        if summary is None:
+            self.add_stream(stream_id)
+            summary = self._summaries[stream_id]
+        summary.insert(value)
+
+    def insert_row(self, row: Mapping) -> None:
+        """Append one lockstep tick: ``{stream_id: value}`` for each stream.
+
+        Similarity queries require equal index ranges, so fleets that will
+        be queried should ingest in rows.
+        """
+        for stream_id, value in row.items():
+            self.insert(stream_id, value)
+
+    def extend(self, stream_id: Hashable, values: Iterable) -> None:
+        """Append many values to one stream."""
+        for value in values:
+            self.insert(stream_id, value)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _summary(self, stream_id: Hashable):
+        try:
+            return self._summaries[stream_id]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown stream {stream_id!r}"
+            ) from None
+
+    def summary(self, stream_id: Hashable):
+        """The live summary object of one stream (for checkpointing etc.)."""
+        return self._summary(stream_id)
+
+    def histogram(self, stream_id: Hashable) -> Histogram:
+        """The current histogram of one stream."""
+        return self._summary(stream_id).histogram()
+
+    def error(self, stream_id: Hashable) -> float:
+        """The current summary error of one stream."""
+        return self._summary(stream_id).error
+
+    def total_memory_bytes(self) -> int:
+        """Accounted memory across all summaries."""
+        return sum(s.memory_bytes() for s in self._summaries.values())
+
+    def distance_bounds(self, first: Hashable, second: Hashable) -> tuple[float, float]:
+        """Guaranteed ``(lower, upper)`` bounds on the L-inf distance."""
+        return series_linf_distance(
+            self.histogram(first), self.histogram(second)
+        )
+
+    def nearest(
+        self, query_id: Hashable, *, k: int = 1
+    ) -> list[tuple[Hashable, float, float]]:
+        """The ``k`` streams with the smallest distance upper bound.
+
+        Returns ``(stream_id, lower, upper)`` triples sorted by upper
+        bound.  Any candidate whose upper bound is below every excluded
+        candidate's lower bound is *provably* among the true k nearest.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        query_hist = self.histogram(query_id)
+        ranked = []
+        for stream_id, summary in self._summaries.items():
+            if stream_id == query_id:
+                continue
+            low, high = series_linf_distance(query_hist, summary.histogram())
+            ranked.append((high, low, stream_id))
+        ranked.sort()
+        return [(sid, low, high) for high, low, sid in ranked[:k]]
+
+    def provably_nearest(self, query_id: Hashable) -> Optional[Hashable]:
+        """The certified nearest neighbour, or None if summaries can't tell.
+
+        Certified means the best candidate's distance *upper* bound is at
+        most every other candidate's *lower* bound, so no refinement with
+        raw data could change the answer.
+        """
+        candidates = self.nearest(query_id, k=len(self._summaries))
+        if not candidates:
+            return None
+        best_id, _low, best_high = candidates[0]
+        for other_id, low, _high in candidates[1:]:
+            if low < best_high:
+                return None
+        return best_id

@@ -1,0 +1,24 @@
+"""Computational-geometry substrate for the PWL histograms (Section 3)."""
+
+from repro.geometry.point import cross, orientation
+from repro.geometry.convex_hull import StreamingHull, convex_hull
+from repro.geometry.fit import LineFit, best_line_fit, vertical_width
+from repro.geometry.width import (
+    euclidean_width,
+    thinnest_bounding_rectangle,
+)
+from repro.geometry.kernel import ApproximateHull, directional_kernel
+
+__all__ = [
+    "cross",
+    "orientation",
+    "StreamingHull",
+    "convex_hull",
+    "LineFit",
+    "best_line_fit",
+    "vertical_width",
+    "euclidean_width",
+    "thinnest_bounding_rectangle",
+    "ApproximateHull",
+    "directional_kernel",
+]

@@ -1,0 +1,31 @@
+"""Planar point primitives.
+
+Points are plain ``(x, y)`` tuples throughout the geometry subpackage --
+bucket hulls are small but manipulated constantly, so avoiding a wrapper
+class keeps the constant factors low.  When coordinates are integers (the
+stream index and the integer value domain of the paper) the orientation
+predicate below is exact.
+"""
+
+from __future__ import annotations
+
+Point = tuple  # (x, y)
+
+
+def cross(o: Point, a: Point, b: Point):
+    """Signed cross product of vectors ``o->a`` and ``o->b``.
+
+    Positive for a counterclockwise (left) turn, negative for clockwise,
+    zero for collinear points.  Exact for integer inputs.
+    """
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def orientation(o: Point, a: Point, b: Point) -> int:
+    """Sign of :func:`cross`: 1 (left turn), -1 (right turn), 0 (collinear)."""
+    c = cross(o, a, b)
+    if c > 0:
+        return 1
+    if c < 0:
+        return -1
+    return 0

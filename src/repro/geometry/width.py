@@ -1,0 +1,111 @@
+"""Euclidean width and the thinnest bounding rectangle ("tbr").
+
+Section 3.1 of the paper fits a PWL bucket via the thinnest bounding
+rectangle of the bucket's convex hull.  The library's actual bucket fit
+uses the exact vertical width (:mod:`repro.geometry.fit`; DESIGN.md item 2),
+but the Euclidean machinery is provided for fidelity with the paper's text
+and is useful in its own right.
+
+The *width* of a point set is the smallest distance between two parallel
+lines enclosing it; for a convex polygon it is realized by an edge on one
+side and a vertex on the other, which the classic rotating-calipers walk
+finds in O(h).  The thinnest bounding rectangle is the rectangle flush with
+that edge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.convex_hull import StreamingHull, convex_hull
+from repro.geometry.point import Point, cross
+
+
+def _as_ccw_vertices(shape: Union[StreamingHull, Sequence[Point]]) -> list[Point]:
+    if isinstance(shape, StreamingHull):
+        return shape.vertices()
+    return convex_hull(shape)
+
+
+def euclidean_width(shape: Union[StreamingHull, Sequence[Point]]) -> float:
+    """Minimum distance between two parallel lines enclosing ``shape``.
+
+    Accepts a :class:`StreamingHull` or a raw point sequence.  Degenerate
+    inputs (at most two distinct points, or all collinear) have width 0.
+    """
+    verts = _as_ccw_vertices(shape)
+    if not verts:
+        raise InvalidParameterError("empty point set has no width")
+    if len(verts) < 3:
+        return 0.0
+    return _calipers(verts)[0]
+
+
+def thinnest_bounding_rectangle(
+    shape: Union[StreamingHull, Sequence[Point]],
+) -> tuple[float, list[tuple[float, float]]]:
+    """Width and corner points of the minimum-width enclosing rectangle.
+
+    Returns ``(width, corners)`` with corners in counterclockwise order,
+    the first edge of the rectangle flush with the hull edge that realizes
+    the width.  Degenerate inputs return a zero-width "rectangle" along the
+    segment.
+    """
+    verts = _as_ccw_vertices(shape)
+    if not verts:
+        raise InvalidParameterError("empty point set has no rectangle")
+    if len(verts) == 1:
+        p = (float(verts[0][0]), float(verts[0][1]))
+        return 0.0, [p, p, p, p]
+    if len(verts) == 2:
+        a = (float(verts[0][0]), float(verts[0][1]))
+        b = (float(verts[1][0]), float(verts[1][1]))
+        return 0.0, [a, b, b, a]
+    width, edge_index = _calipers(verts)
+    a, b = verts[edge_index], verts[(edge_index + 1) % len(verts)]
+    ux, uy = b[0] - a[0], b[1] - a[1]
+    norm = math.hypot(ux, uy)
+    ux, uy = ux / norm, uy / norm
+    nx, ny = -uy, ux  # inward normal for a CCW polygon
+    along = [(v[0] - a[0]) * ux + (v[1] - a[1]) * uy for v in verts]
+    across = [(v[0] - a[0]) * nx + (v[1] - a[1]) * ny for v in verts]
+    lo_u, hi_u = min(along), max(along)
+    hi_n = max(across)
+    corners = [
+        (a[0] + lo_u * ux, a[1] + lo_u * uy),
+        (a[0] + hi_u * ux, a[1] + hi_u * uy),
+        (a[0] + hi_u * ux + hi_n * nx, a[1] + hi_u * uy + hi_n * ny),
+        (a[0] + lo_u * ux + hi_n * nx, a[1] + lo_u * uy + hi_n * ny),
+    ]
+    return width, corners
+
+
+def _calipers(verts: list[Point]) -> tuple[float, int]:
+    """Rotating calipers: ``(width, index_of_flush_edge)`` for a CCW polygon."""
+    n = len(verts)
+    best_width = math.inf
+    best_edge = 0
+    j = 1
+    for i in range(n):
+        a = verts[i]
+        b = verts[(i + 1) % n]
+        # Advance the antipodal pointer while the triangle area keeps
+        # growing; for a convex CCW polygon the farthest vertex from edge
+        # (a, b) advances monotonically with i.
+        while _area2(a, b, verts[(j + 1) % n]) > _area2(a, b, verts[j]):
+            j = (j + 1) % n
+        base = math.hypot(b[0] - a[0], b[1] - a[1])
+        if base == 0:
+            continue
+        distance = _area2(a, b, verts[j]) / base
+        if distance < best_width:
+            best_width = distance
+            best_edge = i
+    return best_width, best_edge
+
+
+def _area2(a: Point, b: Point, c: Point) -> float:
+    """Twice the (positive) area of triangle abc."""
+    return abs(cross(a, b, c))

@@ -1,0 +1,29 @@
+"""Experiment harness: runners, per-figure drivers, and reporting."""
+
+from repro.harness.runner import RunResult, make_algorithm, run_stream
+from repro.harness.experiments import (
+    ExperimentSeries,
+    fig5_memory_vs_buckets,
+    fig6_memory_vs_stream_size,
+    fig7_error_vs_buckets,
+    fig8_running_time,
+    fig9_pwl_vs_serial,
+    sliding_window_experiment,
+    wavelet_comparison,
+)
+from repro.harness.reporting import render_series
+
+__all__ = [
+    "RunResult",
+    "make_algorithm",
+    "run_stream",
+    "ExperimentSeries",
+    "fig5_memory_vs_buckets",
+    "fig6_memory_vs_stream_size",
+    "fig7_error_vs_buckets",
+    "fig8_running_time",
+    "fig9_pwl_vs_serial",
+    "sliding_window_experiment",
+    "wavelet_comparison",
+    "render_series",
+]

@@ -1,0 +1,103 @@
+"""Terminal charts of streams and their histogram reconstructions.
+
+``repro-histogram plot`` renders the original stream and the summary's
+reconstruction side by side in plain ASCII, which is how a library user
+eyeballs *where the buckets went* -- the L-infinity story ("the spike is
+still there") is instantly visible.
+
+The renderer is intentionally simple and fully deterministic: the index
+range is split into ``width`` columns; each column shows the data's
+min..max span as a vertical band of ``.`` and the reconstruction's value
+as ``#`` (``@`` where they overlap).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+def ascii_chart(
+    values: Sequence[float],
+    approx: Optional[Sequence[float]] = None,
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render ``values`` (and optionally ``approx``) as an ASCII chart.
+
+    Parameters
+    ----------
+    values:
+        The original series.
+    approx:
+        Optional reconstruction of the same length, overlaid as ``#``.
+    width, height:
+        Chart size in character cells (axes excluded).
+    title:
+        Optional heading line.
+    """
+    if len(values) == 0:
+        raise InvalidParameterError("cannot chart an empty series")
+    if approx is not None and len(approx) != len(values):
+        raise InvalidParameterError(
+            f"approx length {len(approx)} != values length {len(values)}"
+        )
+    if width < 2 or height < 2:
+        raise InvalidParameterError("chart needs width >= 2 and height >= 2")
+
+    lo = min(values)
+    hi = max(values)
+    if approx is not None:
+        lo = min(lo, min(approx))
+        hi = max(hi, max(approx))
+    span = (hi - lo) or 1.0
+
+    def row_of(value: float) -> int:
+        # Row 0 is the top of the chart.
+        frac = (value - lo) / span
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    n = len(values)
+    grid = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        beg = col * n // width
+        end = max(beg + 1, (col + 1) * n // width)
+        chunk = values[beg:end]
+        top = row_of(max(chunk))
+        bottom = row_of(min(chunk))
+        for row in range(top, bottom + 1):
+            grid[row][col] = "."
+        if approx is not None:
+            target = approx[beg:end]
+            a_top = row_of(max(target))
+            a_bottom = row_of(min(target))
+            for row in range(a_top, a_bottom + 1):
+                grid[row][col] = "@" if grid[row][col] == "." else "#"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:g}"
+    bottom_label = f"{lo:g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row, cells in enumerate(grid):
+        if row == 0:
+            label = top_label.rjust(label_width)
+        elif row == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(cells)}|")
+    axis = " " * label_width + " +" + "-" * width + "+"
+    lines.append(axis)
+    lines.append(
+        " " * label_width + f"  0{'index'.center(width - 8)}{n - 1:>5}"
+    )
+    if approx is not None:
+        lines.append(
+            " " * label_width + "  data: .   reconstruction: # (@ overlap)"
+        )
+    return "\n".join(lines)

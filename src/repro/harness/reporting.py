@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment series.
+
+The paper's figures are log-log plots; the CLI and the benchmark harness
+print the underlying series as aligned tables so the rows can be compared
+directly against the paper (EXPERIMENTS.md records the comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.harness.experiments import ExperimentSeries
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_series(series: Union[ExperimentSeries, Iterable[ExperimentSeries]]) -> str:
+    """Render one series (or several) as aligned plain-text tables."""
+    if isinstance(series, ExperimentSeries):
+        series = [series]
+    blocks = []
+    for one in series:
+        header = one.columns
+        body = [[_format_cell(row.get(col)) for col in header] for row in one.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [one.title]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

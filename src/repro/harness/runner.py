@@ -1,0 +1,141 @@
+"""Feed streams to summaries and collect the measurements the paper plots.
+
+Every streaming summary in this library shares the small informal protocol
+``extend(values)`` / ``error`` / ``memory_bytes()``; :func:`run_stream`
+drives one summary over one stream and reports the error, the accounted
+memory, the wall-clock time, and (where the summary can materialize one)
+the bucket count of the answer histogram.
+
+:func:`make_algorithm` is the factory the experiment drivers and the CLI
+share: it builds a fresh summary from a short algorithm name, so a single
+string like ``"min-merge"`` identifies an algorithm everywhere in the
+harness, the benchmarks, and the command line.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines.rehist import RehistHistogram
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_increment import PwlMinIncrementHistogram
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.core.sliding_window import SlidingWindowMinIncrement
+from repro.core.sliding_window_pwl import SlidingWindowPwlMinIncrement
+from repro.exceptions import InvalidParameterError
+
+#: Algorithm registry names accepted by :func:`make_algorithm`.
+ALGORITHM_NAMES = (
+    "min-merge",
+    "min-increment",
+    "min-increment-batched",
+    "rehist",
+    "pwl-min-merge",
+    "pwl-min-increment",
+    "sliding-window",
+    "sliding-window-pwl",
+)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measurements from one streaming run."""
+
+    algorithm: str
+    items: int
+    seconds: float
+    memory_bytes: int
+    error: float
+    buckets: Optional[int]
+
+    @property
+    def items_per_second(self) -> float:
+        """Ingest throughput (items/s)."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.items / self.seconds
+
+
+def make_algorithm(
+    name: str,
+    *,
+    buckets: int,
+    epsilon: float = 0.2,
+    universe: int = 1 << 15,
+    window: Optional[int] = None,
+    hull_epsilon: Optional[float] = 0.1,
+):
+    """Build a fresh summary by registry name.
+
+    ``window`` is only consulted by ``"sliding-window"``; ``hull_epsilon``
+    only by the PWL algorithms.
+    """
+    if name == "min-merge":
+        return MinMergeHistogram(buckets=buckets)
+    if name == "min-increment":
+        return MinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=universe
+        )
+    if name == "min-increment-batched":
+        return MinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=universe,
+            batch_size="auto",
+        )
+    if name == "rehist":
+        return RehistHistogram(buckets=buckets, epsilon=epsilon, universe=universe)
+    if name == "pwl-min-merge":
+        return PwlMinMergeHistogram(buckets=buckets, hull_epsilon=hull_epsilon)
+    if name == "pwl-min-increment":
+        return PwlMinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=universe,
+            hull_epsilon=hull_epsilon,
+        )
+    if name == "sliding-window":
+        if window is None:
+            raise InvalidParameterError(
+                "the sliding-window algorithm needs a window length"
+            )
+        return SlidingWindowMinIncrement(
+            buckets=buckets, epsilon=epsilon, universe=universe, window=window
+        )
+    if name == "sliding-window-pwl":
+        if window is None:
+            raise InvalidParameterError(
+                "the sliding-window-pwl algorithm needs a window length"
+            )
+        return SlidingWindowPwlMinIncrement(
+            buckets=buckets, epsilon=epsilon, universe=universe,
+            window=window, hull_epsilon=hull_epsilon,
+        )
+    known = ", ".join(ALGORITHM_NAMES)
+    raise InvalidParameterError(
+        f"unknown algorithm {name!r}; known algorithms: {known}"
+    )
+
+
+def run_stream(algorithm, values: Sequence, *, name: Optional[str] = None) -> RunResult:
+    """Stream ``values`` through ``algorithm`` and measure the outcome."""
+    label = name if name is not None else type(algorithm).__name__
+    start = time.perf_counter()
+    algorithm.extend(values)
+    elapsed = time.perf_counter() - start
+    flush = getattr(algorithm, "flush", None)
+    if callable(flush):
+        flush()
+    buckets: Optional[int]
+    try:
+        buckets = len(algorithm.histogram())
+    except TypeError:
+        # REHIST materializes histograms only from the original values.
+        buckets = len(algorithm.histogram(values))
+    return RunResult(
+        algorithm=label,
+        items=len(values),
+        seconds=elapsed,
+        memory_bytes=algorithm.memory_bytes(),
+        error=algorithm.error,
+        buckets=buckets,
+    )

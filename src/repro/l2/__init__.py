@@ -1,0 +1,32 @@
+"""L2 (V-optimal) histograms -- the metric the paper positions against.
+
+The paper's Related Work (Section 1.2) builds on the L2 lineage: Jagadish
+et al.'s optimal dynamic program [17] and the merge-based approximations
+it inspired.  This subpackage implements that lineage so the library can
+*quantify* the introduction's motivation -- L2-optimal summaries minimize
+total energy and may flatten exactly the spikes an L-infinity histogram is
+obliged to keep visible.
+
+Contents:
+
+* :func:`voptimal_histogram` / :func:`voptimal_error` -- the exact offline
+  V-optimal DP over prefix sums (O(n^2 B) time, O(nB) with rolling rows);
+* :class:`L2MergeHistogram` -- the streaming merge-based heuristic: the
+  MIN-MERGE control flow with sum/sum-of-squares buckets (no worst-case
+  guarantee under L2 -- the summed metric defeats the min-merge pigeonhole
+  argument -- but the classic practical baseline);
+* :func:`interval_sse` -- O(1) interval sum-of-squared-errors via prefix
+  sums, the substrate both share.
+"""
+
+from repro.l2.sse import PrefixSSE, interval_sse
+from repro.l2.voptimal import voptimal_error, voptimal_histogram
+from repro.l2.merge import L2MergeHistogram
+
+__all__ = [
+    "PrefixSSE",
+    "interval_sse",
+    "voptimal_error",
+    "voptimal_histogram",
+    "L2MergeHistogram",
+]

@@ -1,0 +1,75 @@
+"""Interval sum-of-squared-errors via prefix sums.
+
+Under the L2 metric a bucket's optimal representative is the *mean* of its
+values and its cost is the sum of squared deviations from that mean:
+
+    SSE(i, j) = sum_{k=i..j} x_k^2  -  (sum_{k=i..j} x_k)^2 / (j - i + 1).
+
+With prefix sums of ``x`` and ``x^2`` this is O(1) per interval -- the
+classic substrate of Jagadish et al.'s V-optimal dynamic program [17].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+class PrefixSSE:
+    """Prefix-sum structure answering interval SSE queries in O(1).
+
+    Built once over a value sequence; ``sse(i, j)`` returns the optimal
+    single-bucket L2 cost of the inclusive index range ``[i, j]`` and
+    ``mean(i, j)`` its optimal representative.
+    """
+
+    def __init__(self, values: Sequence):
+        if len(values) == 0:
+            raise InvalidParameterError("cannot index an empty sequence")
+        n = len(values)
+        self._n = n
+        self._sum = [0.0] * (n + 1)
+        self._sumsq = [0.0] * (n + 1)
+        for i, v in enumerate(values):
+            self._sum[i + 1] = self._sum[i] + v
+            self._sumsq[i + 1] = self._sumsq[i] + v * v
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _check(self, beg: int, end: int) -> None:
+        if not 0 <= beg <= end < self._n:
+            raise InvalidParameterError(
+                f"interval [{beg}, {end}] out of range for length {self._n}"
+            )
+
+    def total(self, beg: int, end: int) -> float:
+        """Sum of values over ``[beg, end]``."""
+        self._check(beg, end)
+        return self._sum[end + 1] - self._sum[beg]
+
+    def mean(self, beg: int, end: int) -> float:
+        """Optimal L2 representative (the mean) of ``[beg, end]``."""
+        self._check(beg, end)
+        return self.total(beg, end) / (end - beg + 1)
+
+    def sse(self, beg: int, end: int) -> float:
+        """Sum of squared deviations from the interval mean."""
+        self._check(beg, end)
+        count = end - beg + 1
+        total = self._sum[end + 1] - self._sum[beg]
+        sumsq = self._sumsq[end + 1] - self._sumsq[beg]
+        # Clamp tiny negative residue from floating-point cancellation.
+        return max(0.0, sumsq - total * total / count)
+
+
+def interval_sse(values: Sequence, beg: int, end: int) -> float:
+    """One-shot interval SSE (builds no index; O(j - i) time)."""
+    if not 0 <= beg <= end < len(values):
+        raise InvalidParameterError(
+            f"interval [{beg}, {end}] out of range for length {len(values)}"
+        )
+    window = values[beg:end + 1]
+    mean = sum(window) / len(window)
+    return sum((v - mean) ** 2 for v in window)

@@ -1,0 +1,10 @@
+"""Explicit memory cost model used to reproduce the paper's byte counts."""
+
+from repro.memory.model import (
+    BYTES_PER_WORD,
+    MemoryModel,
+    MemoryReport,
+    DEFAULT_MODEL,
+)
+
+__all__ = ["BYTES_PER_WORD", "MemoryModel", "MemoryReport", "DEFAULT_MODEL"]

@@ -1,0 +1,141 @@
+"""Memory cost model for the histogram summaries.
+
+The paper reports *observed space usage in bytes* for C++ implementations
+whose structures are built from 4-byte integers (Section 5.1).  Measuring
+CPython object sizes with ``sys.getsizeof`` would report interpreter box
+overhead, not algorithmic space, so every summary in this library instead
+exposes ``memory_bytes()`` computed from an explicit inventory of the words
+it stores.  This module centralizes the per-structure word costs so that the
+accounting is consistent across algorithms and easy to audit:
+
+* serial bucket: 4 words (``beg``, ``end``, ``min``, ``max``) -- Section 2.1.1,
+* heap entry: 2 words (key, bucket reference) -- the FINDMIN heap of
+  MIN-MERGE,
+* ladder entry: 1 word (the target error) -- MIN-INCREMENT's error ladder,
+* open-bucket state: 3 words (``beg``, ``min``, ``max``) -- GREEDY-INSERT,
+* hull vertex: 2 words (x, y) -- PWL buckets,
+* PWL bucket header: 2 words (``beg``, ``end``),
+* DP breakpoint: 4 words (position, error, running min, running max) --
+  the REHIST baseline,
+* record-stack entry: 2 words (position, value) -- suffix min/max stacks.
+
+A :class:`MemoryModel` instance carries the word size; the default of 4
+bytes mirrors the paper's 32-bit integers.  Structures whose natural values
+exceed 32 bits on huge streams would need 8-byte words -- construct a model
+with ``bytes_per_word=8`` to account for that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidParameterError
+
+#: Word size (bytes) matching the paper's C++ ``int``.
+BYTES_PER_WORD = 4
+
+#: Words stored per serial-histogram bucket: beg, end, min, max.
+WORDS_PER_BUCKET = 4
+
+#: Words stored per addressable-heap entry: merge-error key + bucket id.
+WORDS_PER_HEAP_ENTRY = 2
+
+#: Words per MIN-INCREMENT ladder entry (the target error itself).
+WORDS_PER_LADDER_ENTRY = 1
+
+#: Words for one GREEDY-INSERT open bucket: beg, running min, running max.
+WORDS_PER_OPEN_BUCKET = 3
+
+#: Words per convex-hull vertex: x (stream index) and y (value).
+WORDS_PER_HULL_VERTEX = 2
+
+#: Words per PWL bucket header (beg, end); the hull is charged separately.
+WORDS_PER_PWL_HEADER = 2
+
+#: Words per REHIST breakpoint: position, error class value, suffix min, max.
+WORDS_PER_BREAKPOINT = 4
+
+#: Words per monotone record-stack entry: position and value.
+WORDS_PER_STACK_ENTRY = 2
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Breakdown of a summary's memory by structure.
+
+    ``components`` maps a human-readable structure name (for example
+    ``"buckets"`` or ``"heap"``) to its size in bytes; ``total_bytes`` is
+    their sum.  Reports support ``+`` so multi-part summaries (for example
+    MIN-INCREMENT, which owns many GREEDY-INSERT summaries) can aggregate
+    their parts.
+    """
+
+    components: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total accounted bytes across all components."""
+        return sum(self.components.values())
+
+    def __add__(self, other: "MemoryReport") -> "MemoryReport":
+        merged = dict(self.components)
+        for name, size in other.components.items():
+            merged[name] = merged.get(name, 0) + size
+        return MemoryReport(merged)
+
+    def __radd__(self, other) -> "MemoryReport":
+        # Support sum() over reports, whose start value is the int 0.
+        if other == 0:
+            return self
+        return NotImplemented
+
+
+class MemoryModel:
+    """Translates structure counts into bytes under a fixed word size."""
+
+    def __init__(self, bytes_per_word: int = BYTES_PER_WORD):
+        if bytes_per_word <= 0:
+            raise InvalidParameterError(
+                f"bytes_per_word must be positive, got {bytes_per_word}"
+            )
+        self.bytes_per_word = bytes_per_word
+
+    def words(self, count: int) -> int:
+        """Bytes occupied by ``count`` words."""
+        return count * self.bytes_per_word
+
+    def buckets(self, count: int) -> int:
+        """Bytes for ``count`` serial-histogram buckets."""
+        return self.words(count * WORDS_PER_BUCKET)
+
+    def heap_entries(self, count: int) -> int:
+        """Bytes for ``count`` addressable-heap entries."""
+        return self.words(count * WORDS_PER_HEAP_ENTRY)
+
+    def ladder_entries(self, count: int) -> int:
+        """Bytes for ``count`` target-error ladder entries."""
+        return self.words(count * WORDS_PER_LADDER_ENTRY)
+
+    def open_buckets(self, count: int) -> int:
+        """Bytes for ``count`` GREEDY-INSERT open-bucket states."""
+        return self.words(count * WORDS_PER_OPEN_BUCKET)
+
+    def hull_vertices(self, count: int) -> int:
+        """Bytes for ``count`` convex-hull vertices."""
+        return self.words(count * WORDS_PER_HULL_VERTEX)
+
+    def pwl_headers(self, count: int) -> int:
+        """Bytes for ``count`` PWL bucket headers."""
+        return self.words(count * WORDS_PER_PWL_HEADER)
+
+    def breakpoints(self, count: int) -> int:
+        """Bytes for ``count`` REHIST DP breakpoints."""
+        return self.words(count * WORDS_PER_BREAKPOINT)
+
+    def stack_entries(self, count: int) -> int:
+        """Bytes for ``count`` monotone record-stack entries."""
+        return self.words(count * WORDS_PER_STACK_ENTRY)
+
+
+#: Shared default model (4-byte words, as in the paper).
+DEFAULT_MODEL = MemoryModel()

@@ -1,0 +1,15 @@
+"""Error metrics between streams and their reconstructions."""
+
+from repro.metrics.errors import (
+    l2_error,
+    linf_error,
+    mean_absolute_error,
+    series_linf_distance,
+)
+
+__all__ = [
+    "l2_error",
+    "linf_error",
+    "mean_absolute_error",
+    "series_linf_distance",
+]

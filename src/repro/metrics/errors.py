@@ -1,0 +1,75 @@
+"""Reconstruction error metrics (equation 1 and friends).
+
+The paper's metric of record is the maximum error
+``E_inf = max_i |x_i - xhat_i|`` (equation 1); L2 and mean-absolute errors
+are provided for the wavelet comparison and general reporting.  The module
+also implements the StatStream-style *series distance* from the paper's
+introduction: the L-infinity distance between two time series estimated
+from their histogram summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import math
+
+from repro.core.histogram import Histogram
+from repro.exceptions import InvalidParameterError
+
+
+def _check_lengths(a: Sequence, b: Sequence) -> None:
+    if len(a) != len(b):
+        raise InvalidParameterError(
+            f"length mismatch: {len(a)} vs {len(b)}"
+        )
+    if len(a) == 0:
+        raise InvalidParameterError("cannot compare empty sequences")
+
+
+def linf_error(values: Sequence, estimate: Sequence) -> float:
+    """Maximum absolute deviation (the paper's equation 1)."""
+    _check_lengths(values, estimate)
+    return max(abs(v - e) for v, e in zip(values, estimate))
+
+
+def l2_error(values: Sequence, estimate: Sequence) -> float:
+    """Euclidean (root-sum-square) deviation."""
+    _check_lengths(values, estimate)
+    return math.sqrt(sum((v - e) ** 2 for v, e in zip(values, estimate)))
+
+
+def mean_absolute_error(values: Sequence, estimate: Sequence) -> float:
+    """Mean absolute deviation."""
+    _check_lengths(values, estimate)
+    return sum(abs(v - e) for v, e in zip(values, estimate)) / len(values)
+
+
+def series_linf_distance(first: Histogram, second: Histogram) -> tuple[float, float]:
+    """Bounds on ``max_i |x_i - y_i|`` of two series from their histograms.
+
+    This is the similarity primitive from the paper's StatStream
+    motivation: given histograms of two equal-range series with errors
+    ``e1`` and ``e2``, the true L-infinity distance ``d`` satisfies
+
+        max(0, dhat - e1 - e2)  <=  d  <=  dhat + e1 + e2,
+
+    where ``dhat`` is the distance between the reconstructions.  Returns
+    the ``(lower, upper)`` bounds.
+    """
+    if (first.beg, first.end) != (second.beg, second.end):
+        raise InvalidParameterError(
+            "histograms cover different index ranges: "
+            f"[{first.beg}, {first.end}] vs [{second.beg}, {second.end}]"
+        )
+    # Evaluate the reconstruction gap only at segment boundaries of both
+    # histograms: between consecutive boundaries both reconstructions are
+    # linear, so their difference is linear and extremal at endpoints.
+    marks = sorted(
+        {first.beg}
+        | {seg.beg for seg in first} | {seg.end for seg in first}
+        | {seg.beg for seg in second} | {seg.end for seg in second}
+    )
+    dhat = max(abs(first.value_at(i) - second.value_at(i)) for i in marks)
+    slack = first.error + second.error
+    return max(0.0, dhat - slack), dhat + slack

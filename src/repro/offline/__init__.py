@@ -1,0 +1,23 @@
+"""Offline (non-streaming) optimal histogram algorithms (Section 4.2)."""
+
+from repro.offline.optimal import (
+    min_buckets_for_error,
+    optimal_error,
+    optimal_error_dp,
+    optimal_histogram,
+)
+from repro.offline.optimal_pwl import (
+    min_pwl_buckets_for_error,
+    optimal_pwl_error,
+    optimal_pwl_histogram,
+)
+
+__all__ = [
+    "min_buckets_for_error",
+    "optimal_error",
+    "optimal_error_dp",
+    "optimal_histogram",
+    "min_pwl_buckets_for_error",
+    "optimal_pwl_error",
+    "optimal_pwl_histogram",
+]

@@ -1,0 +1,35 @@
+"""Relative-error histograms (REHIST's native metric).
+
+The paper benchmarks against REHIST [12], whose original objective is the
+maximum *relative* error
+
+    E_rel = max_i |x_i - xhat_i| / max(|x_i|, c)
+
+with a sanity constant ``c`` guarding small denominators; Section 5 notes
+the algorithm "works for the maximum error as well, with the same bounds".
+This subpackage closes the loop in the other direction: the paper's own
+MIN-MERGE and MIN-INCREMENT machinery works *verbatim* for the relative
+metric, because a bucket's optimal relative error
+
+    err([lo, hi]) = (hi - lo) / (max(lo, c) + max(hi, c))
+
+is monotone under extension and under union -- the only two properties the
+(1, 2) pigeonhole argument (Lemma 1) and the greedy dual optimality
+(Lemma 2) actually use.  See :mod:`repro.relative.bucket` for the closed
+forms.
+"""
+
+from repro.relative.bucket import RelativeBucket, relative_error_ladder
+from repro.relative.algorithms import (
+    RelativeMinIncrementHistogram,
+    RelativeMinMergeHistogram,
+    optimal_relative_error,
+)
+
+__all__ = [
+    "RelativeBucket",
+    "relative_error_ladder",
+    "RelativeMinIncrementHistogram",
+    "RelativeMinMergeHistogram",
+    "optimal_relative_error",
+]

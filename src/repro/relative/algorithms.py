@@ -1,0 +1,326 @@
+"""MIN-MERGE and MIN-INCREMENT under the maximum relative error.
+
+The control flow is identical to the absolute-error versions in
+:mod:`repro.core`; only the bucket arithmetic differs (see
+:mod:`repro.relative.bucket` for why the guarantees transfer: both proofs
+use nothing beyond monotonicity of the bucket error under extension and
+union).  Guarantees:
+
+* :class:`RelativeMinMergeHistogram` -- (1, 2): with 2B buckets, relative
+  error at most the optimal B-bucket relative error, in O(B) memory;
+* :class:`RelativeMinIncrementHistogram` -- (1 + eps, 1) down to the
+  ladder floor ``1 / (2U)`` (relative errors are rationals, so exact
+  small levels like the absolute ladder's 0/0.5 do not exist; below the
+  floor the answer is the floor level -- same granularity caveat as the
+  PWL ladder, DESIGN.md item 5);
+* :func:`optimal_relative_error` -- exact offline optimum by bisection
+  with greedy feasibility plus a realized-error snap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.histogram import Histogram, Segment
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
+from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.relative.bucket import RelativeBucket, relative_error_ladder
+from repro.structures.heap import AddressableMinHeap
+from repro.structures.linked_list import BucketList, BucketNode
+
+
+class RelativeMinMergeHistogram:
+    """Streaming (1, 2)-approximate maximum-relative-error histogram.
+
+    Parameters
+    ----------
+    buckets:
+        Target bucket count ``B``; up to ``2 * B`` working buckets.
+    sanity:
+        The denominator floor ``c`` of the relative metric.
+    memory_model:
+        Cost model used by :meth:`memory_bytes`.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        *,
+        sanity: float = 1.0,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        self.target_buckets = buckets
+        self.working_buckets = 2 * buckets
+        self.sanity = sanity
+        self._model = memory_model
+        self._list = BucketList()
+        self._heap = AddressableMinHeap()
+        self._n = 0
+
+    def insert(self, value) -> None:
+        """Process the next stream value."""
+        if value < 0:
+            raise DomainError(
+                f"relative-error histograms need non-negative values, got {value}"
+            )
+        node = self._list.append(
+            RelativeBucket.singleton(self._n, value, sanity=self.sanity)
+        )
+        if node.prev is not None:
+            self._push_pair_key(node.prev)
+        if len(self._list) > self.working_buckets:
+            self._merge_min_pair()
+        self._n += 1
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed so far."""
+        return self._n
+
+    @property
+    def bucket_count(self) -> int:
+        """Current number of working buckets."""
+        return len(self._list)
+
+    @property
+    def error(self) -> float:
+        """Current summary relative error (largest bucket error)."""
+        if not self._list:
+            raise EmptySummaryError("no values inserted yet")
+        return max(node.bucket.error for node in self._list)
+
+    def histogram(self) -> Histogram:
+        """The current piecewise-constant approximation.
+
+        The ``error`` field carries the maximum *relative* error.
+        """
+        if not self._list:
+            raise EmptySummaryError("no values inserted yet")
+        segments = [
+            Segment(b.beg, b.end, b.representative, b.representative)
+            for b in self._list.buckets()
+        ]
+        return Histogram(segments, self.error)
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: buckets plus heap entries."""
+        return self._model.buckets(len(self._list)) + self._model.heap_entries(
+            len(self._heap)
+        )
+
+    def check_min_merge_property(self) -> None:
+        """Assert merging any adjacent pair costs at least err(S) (tests)."""
+        if len(self._list) < 2:
+            return
+        current = self.error
+        for node in self._list:
+            if node.next is None:
+                continue
+            if node.bucket.merge_error_with(node.next.bucket) < current - 1e-12:
+                raise AssertionError(
+                    "relative min-merge property violated at "
+                    f"[{node.bucket.beg}, {node.next.bucket.end}]"
+                )
+
+    def _push_pair_key(self, left: BucketNode) -> None:
+        key = left.bucket.merge_error_with(left.next.bucket)
+        left.pair_handle = self._heap.push(key, left)
+
+    def _drop_pair_key(self, left: BucketNode) -> None:
+        if left.pair_handle is not None:
+            self._heap.remove(left.pair_handle)
+            left.pair_handle = None
+
+    def _merge_min_pair(self) -> None:
+        _key, left = self._heap.pop_min()
+        left.pair_handle = None
+        right = left.next
+        self._drop_pair_key(right)
+        if left.prev is not None:
+            self._drop_pair_key(left.prev)
+        left.bucket = left.bucket.merged_with(right.bucket)
+        self._list.remove(right)
+        if left.prev is not None:
+            self._push_pair_key(left.prev)
+        if left.next is not None:
+            self._push_pair_key(left)
+
+
+class _RelativeGreedySummary:
+    """GREEDY-INSERT for one relative target error."""
+
+    __slots__ = ("target_error", "sanity", "closed", "open", "_next_index")
+
+    def __init__(self, target_error: float, sanity: float):
+        self.target_error = target_error
+        self.sanity = sanity
+        self.closed: list[RelativeBucket] = []
+        self.open: Optional[RelativeBucket] = None
+        self._next_index = 0
+
+    def insert(self, value) -> None:
+        if self.open is None:
+            self.open = RelativeBucket.singleton(
+                self._next_index, value, sanity=self.sanity
+            )
+        elif self.open.would_extend_error(value) <= self.target_error:
+            self.open.extend(value)
+        else:
+            self.closed.append(self.open)
+            self.open = RelativeBucket.singleton(
+                self._next_index, value, sanity=self.sanity
+            )
+        self._next_index += 1
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.closed) + (1 if self.open is not None else 0)
+
+    def buckets(self) -> list[RelativeBucket]:
+        out = list(self.closed)
+        if self.open is not None:
+            out.append(self.open)
+        return out
+
+
+class RelativeMinIncrementHistogram:
+    """Streaming (1 + eps, 1)-approximate relative-error histogram.
+
+    Parameters
+    ----------
+    buckets, epsilon, universe:
+        As in :class:`~repro.core.min_increment.MinIncrementHistogram`.
+    sanity:
+        Denominator floor ``c`` of the relative metric.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        epsilon: float,
+        universe: int,
+        *,
+        sanity: float = 1.0,
+        memory_model: MemoryModel = DEFAULT_MODEL,
+    ):
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        self.target_buckets = buckets
+        self.universe = universe
+        self.epsilon = epsilon
+        self.sanity = sanity
+        self._model = memory_model
+        self._levels = relative_error_ladder(epsilon, universe, sanity=sanity)
+        self._summaries = [
+            _RelativeGreedySummary(level, sanity) for level in self._levels
+        ]
+        self._n = 0
+
+    def insert(self, value) -> None:
+        """Process the next stream value."""
+        if not 0 <= value < self.universe:
+            raise DomainError(
+                f"value {value!r} outside universe [0, {self.universe})"
+            )
+        self._n += 1
+        limit = self.target_buckets
+        survivors = []
+        for summary in self._summaries:
+            summary.insert(value)
+            if summary.bucket_count <= limit or summary is self._summaries[-1]:
+                survivors.append(summary)
+        self._summaries = survivors
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed so far."""
+        return self._n
+
+    @property
+    def alive_levels(self) -> list[float]:
+        """Target errors whose summaries still fit in ``B`` buckets."""
+        return [s.target_error for s in self._summaries]
+
+    @property
+    def error(self) -> float:
+        """Relative error of the answer histogram."""
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        best = self._summaries[0]
+        return max((b.error for b in best.buckets()), default=0.0)
+
+    def histogram(self) -> Histogram:
+        """The (1 + eps, 1)-approximate relative-error histogram."""
+        if self._n == 0:
+            raise EmptySummaryError("no values inserted yet")
+        best = self._summaries[0]
+        segments = [
+            Segment(b.beg, b.end, b.representative, b.representative)
+            for b in best.buckets()
+        ]
+        return Histogram(segments, self.error)
+
+    def memory_bytes(self) -> int:
+        """Accounted memory: per-level buckets plus ladder entries."""
+        total = self._model.ladder_entries(len(self._summaries))
+        for summary in self._summaries:
+            total += self._model.buckets(len(summary.closed))
+            if summary.open is not None:
+                total += self._model.open_buckets(1)
+        return total
+
+
+def optimal_relative_error(
+    values: Sequence, buckets: int, *, sanity: float = 1.0
+) -> float:
+    """Exact optimal B-bucket maximum relative error (offline).
+
+    Bisection over [0, 1) with greedy feasibility; the feasibility
+    predicate steps only at achievable errors (rationals of the form
+    ``(hi - lo) / (a + b)``), so once the bracket is below the candidate
+    spacing the realized greedy error at the feasible end is the optimum.
+    """
+    if buckets < 1:
+        raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+    if len(values) == 0:
+        raise InvalidParameterError("cannot build a histogram of no values")
+    from repro.relative.bucket import min_relative_buckets_for_error
+
+    if min_relative_buckets_for_error(values, 0.0, sanity=sanity) <= buckets:
+        return 0.0
+    lo, hi = 0.0, 1.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if mid == lo or mid == hi:
+            break
+        if min_relative_buckets_for_error(values, mid, sanity=sanity) <= buckets:
+            hi = mid
+        else:
+            lo = mid
+    # Snap to the realized greedy error at the feasible end.
+    worst = 0.0
+    bucket = RelativeBucket.singleton(0, values[0], sanity=sanity)
+    for i in range(1, len(values)):
+        v = values[i]
+        if bucket.would_extend_error(v) <= hi:
+            bucket.extend(v)
+        else:
+            worst = max(worst, bucket.error)
+            bucket = RelativeBucket.singleton(i, v, sanity=sanity)
+    return max(worst, bucket.error)

@@ -1,0 +1,23 @@
+"""Sensor-network deployment simulation (the paper's motivating substrate).
+
+The paper motivates its space bounds with sensor networks: motes with
+KBytes of RAM, multi-hop radio where every transmitted byte costs energy,
+and a base station that wants faithful summaries of every node's history.
+This subpackage simulates that deployment end to end so the claims become
+measurable: per-mote memory, radio bytes up the collection tree (summary
+shipping vs raw forwarding), and the error of the base station's merged
+per-node histories against the exact offline optimum.
+"""
+
+from repro.simulation.network import AggregationTree, Mote
+from repro.simulation.scenario import (
+    SensorNetworkSimulation,
+    SimulationReport,
+)
+
+__all__ = [
+    "AggregationTree",
+    "Mote",
+    "SensorNetworkSimulation",
+    "SimulationReport",
+]

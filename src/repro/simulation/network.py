@@ -1,0 +1,127 @@
+"""Topology and radio accounting for the sensor-network simulation.
+
+A collection tree of motes: leaves sense, interior motes relay, the base
+station (the root) stores.  The radio model charges every transmitted
+byte on every hop -- the standard first-order energy model for motes,
+where radio dominates compute by orders of magnitude.  Payload sizes come
+from the library's explicit memory model (a shipped summary costs its
+``memory_bytes()``; raw forwarding costs ``bytes_per_reading`` per value),
+so the simulation's savings numbers are in the same units as Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+
+#: Radio cost of one raw reading (a 4-byte integer, as in the paper).
+BYTES_PER_READING = 4
+
+
+@dataclass
+class Mote:
+    """One node of the collection tree."""
+
+    node_id: int
+    parent: Optional[int]
+    depth: int
+    is_leaf: bool
+    bytes_sent: int = 0
+    children: list[int] = field(default_factory=list)
+
+
+class AggregationTree:
+    """A balanced collection tree with per-hop radio accounting.
+
+    Parameters
+    ----------
+    leaves:
+        Number of sensing motes.
+    branching:
+        Fan-in of interior motes (the root absorbs any remainder).
+    """
+
+    def __init__(self, leaves: int, *, branching: int = 2):
+        if leaves < 1:
+            raise InvalidParameterError(f"need >= 1 leaf, got {leaves}")
+        if branching < 2:
+            raise InvalidParameterError(
+                f"branching must be >= 2, got {branching}"
+            )
+        self.branching = branching
+        self.motes: dict[int, Mote] = {}
+        # Build bottom-up: level 0 = leaves, parents above, root last.
+        level = list(range(leaves))
+        for node_id in level:
+            self.motes[node_id] = Mote(
+                node_id=node_id, parent=None, depth=0, is_leaf=True
+            )
+        next_id = leaves
+        depth = 1
+        while len(level) > 1:
+            parents = []
+            for i in range(0, len(level), branching):
+                group = level[i:i + branching]
+                if len(group) == 1 and parents:
+                    # Fold a lone straggler into the previous parent.
+                    self._adopt(parents[-1], group[0])
+                    continue
+                parent = Mote(
+                    node_id=next_id, parent=None, depth=depth, is_leaf=False
+                )
+                self.motes[next_id] = parent
+                for child in group:
+                    self._adopt(next_id, child)
+                parents.append(next_id)
+                next_id += 1
+            level = parents
+            depth += 1
+        self.root_id = level[0]
+
+    def _adopt(self, parent_id: int, child_id: int) -> None:
+        self.motes[child_id].parent = parent_id
+        self.motes[parent_id].children.append(child_id)
+
+    @property
+    def leaf_ids(self) -> list[int]:
+        """Sensing motes, in id order."""
+        return sorted(m.node_id for m in self.motes.values() if m.is_leaf)
+
+    def hops_to_root(self, node_id: int) -> int:
+        """Number of radio hops from a mote to the base station."""
+        self._check(node_id)
+        hops = 0
+        current = node_id
+        while current != self.root_id:
+            current = self.motes[current].parent
+            hops += 1
+        return hops
+
+    def transmit(self, node_id: int, payload_bytes: int) -> int:
+        """Ship a payload from a mote to the root; returns bytes on air.
+
+        Every hop retransmits the payload; each forwarding mote's
+        ``bytes_sent`` is charged (the root never transmits).
+        """
+        self._check(node_id)
+        if payload_bytes < 0:
+            raise InvalidParameterError(
+                f"payload_bytes must be >= 0, got {payload_bytes}"
+            )
+        total = 0
+        current = node_id
+        while current != self.root_id:
+            self.motes[current].bytes_sent += payload_bytes
+            total += payload_bytes
+            current = self.motes[current].parent
+        return total
+
+    def total_bytes_sent(self) -> int:
+        """Sum of all radio transmissions so far."""
+        return sum(m.bytes_sent for m in self.motes.values())
+
+    def _check(self, node_id: int) -> None:
+        if node_id not in self.motes:
+            raise InvalidParameterError(f"unknown mote {node_id}")

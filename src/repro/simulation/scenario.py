@@ -1,0 +1,196 @@
+"""The deployment scenario: epochs of sensing, summaries up the tree.
+
+Each epoch, every leaf mote summarizes its readings with MIN-MERGE in
+O(B) memory and ships the *summary* (not the readings) to the base
+station over the collection tree.  The base maintains one rolling history
+summary per leaf by merging consecutive epoch summaries
+(:func:`repro.core.aggregation.merge_min_merge_summaries` -- the (1, 2)
+guarantee survives the merge, so the base's per-leaf history is provably
+within the optimal ``B``-bucket error of that leaf's *entire* history).
+
+The report compares against the baseline deployment that forwards raw
+readings (4 bytes x readings x hops) and records the guarantee check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import merge_min_merge_summaries
+from repro.core.min_merge import MinMergeHistogram
+from repro.data.quantize import quantize_to_universe
+from repro.exceptions import InvalidParameterError
+from repro.offline.optimal import optimal_error
+from repro.simulation.network import BYTES_PER_READING, AggregationTree
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of one simulated deployment."""
+
+    leaves: int
+    epochs: int
+    readings_per_epoch: int
+    summary_radio_bytes: int
+    raw_radio_bytes: int
+    peak_mote_memory_bytes: int
+    base_memory_bytes: int
+    worst_error: float
+    worst_optimal_error: float
+    guarantee_held: bool
+    received_epochs: int = 0
+    lost_epochs: int = 0
+
+    @property
+    def radio_savings(self) -> float:
+        """Raw-forwarding bytes divided by summary-shipping bytes."""
+        if self.summary_radio_bytes == 0:
+            return float("inf")
+        return self.raw_radio_bytes / self.summary_radio_bytes
+
+
+def default_signal(leaf: int, epoch: int, n: int, seed: int = 0) -> list[int]:
+    """Per-leaf correlated random-walk readings (quantized to [0, 2^15))."""
+    rng = np.random.default_rng((seed, leaf, epoch))
+    walk = np.cumsum(rng.normal(0.0, 1.0, n)) + 100.0 * leaf
+    return quantize_to_universe(walk, 1 << 15)
+
+
+class SensorNetworkSimulation:
+    """Run a summaries-up-the-tree deployment and measure it.
+
+    Parameters
+    ----------
+    leaves, branching:
+        Collection-tree shape.
+    buckets:
+        Per-epoch summary budget ``B`` on every leaf.
+    epochs, readings_per_epoch:
+        Deployment length.
+    signal:
+        ``signal(leaf, epoch, n) -> list[int]`` producing each leaf's
+        readings; defaults to :func:`default_signal`.
+    loss_rate:
+        Probability that an epoch's summary is lost in transit (lossy
+        radio).  A lost epoch simply never reaches the base: its readings
+        are absent from that leaf's history, and the guarantee is then
+        stated -- and checked -- against the optimal histogram of the
+        *received* readings (the only stream the base ever saw).
+    loss_seed:
+        Seed for the loss process.
+    """
+
+    def __init__(
+        self,
+        *,
+        leaves: int = 8,
+        branching: int = 2,
+        buckets: int = 16,
+        epochs: int = 4,
+        readings_per_epoch: int = 512,
+        signal: Callable[[int, int, int], Sequence[int]] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ):
+        if epochs < 1:
+            raise InvalidParameterError(f"epochs must be >= 1, got {epochs}")
+        if readings_per_epoch < 1:
+            raise InvalidParameterError(
+                f"readings_per_epoch must be >= 1, got {readings_per_epoch}"
+            )
+        if not 0.0 <= loss_rate < 1.0:
+            raise InvalidParameterError(
+                f"loss_rate must lie in [0, 1), got {loss_rate}"
+            )
+        self.tree = AggregationTree(leaves, branching=branching)
+        self.buckets = buckets
+        self.epochs = epochs
+        self.readings_per_epoch = readings_per_epoch
+        self.signal = signal if signal is not None else default_signal
+        self.loss_rate = loss_rate
+        self._loss_rng = np.random.default_rng(loss_seed)
+
+    def run(self) -> SimulationReport:
+        """Simulate the full deployment; returns the measured report."""
+        histories: dict[int, MinMergeHistogram] = {}
+        full_streams: dict[int, list[int]] = {
+            leaf: [] for leaf in self.tree.leaf_ids
+        }
+        peak_mote_memory = 0
+        summary_bytes = 0
+        raw_bytes = 0
+
+        received_epochs = 0
+        lost_epochs = 0
+        for epoch in range(self.epochs):
+            for leaf in self.tree.leaf_ids:
+                readings = list(
+                    self.signal(leaf, epoch, self.readings_per_epoch)
+                )
+                # The mote summarizes its epoch in O(B) memory...
+                epoch_summary = MinMergeHistogram(buckets=self.buckets)
+                # Indices restart per epoch stream at the *received* offset
+                # so the base's merged history stays contiguous even when
+                # earlier epochs were lost on the air.
+                epoch_summary._n = len(full_streams[leaf])
+                epoch_summary.extend(readings)
+                peak_mote_memory = max(
+                    peak_mote_memory, epoch_summary.memory_bytes()
+                )
+                # ...ships the summary up the tree...
+                summary_bytes += self.tree.transmit(
+                    leaf, epoch_summary.memory_bytes()
+                )
+                raw_bytes += (
+                    len(readings)
+                    * BYTES_PER_READING
+                    * self.tree.hops_to_root(leaf)
+                )
+                if self.loss_rate and self._loss_rng.random() < self.loss_rate:
+                    lost_epochs += 1
+                    continue  # the radio ate it; the base never sees it
+                received_epochs += 1
+                full_streams[leaf].extend(readings)
+                # ...and the base folds it into the leaf's history.
+                if leaf not in histories:
+                    histories[leaf] = epoch_summary
+                else:
+                    histories[leaf] = merge_min_merge_summaries(
+                        [histories[leaf], epoch_summary],
+                        buckets=self.buckets,
+                    )
+
+        worst_error = 0.0
+        worst_optimal = 0.0
+        base_memory = 0
+        guarantee = True
+        for leaf, history in histories.items():
+            base_memory += history.memory_bytes()
+            error = history.error
+            if not full_streams[leaf]:
+                continue  # pragma: no cover - history implies received data
+            best = optimal_error(full_streams[leaf], self.buckets)
+            # Theorem 1 must hold per leaf, through every epoch merge.
+            if error > best + 1e-9:
+                guarantee = False
+            if error > worst_error:
+                worst_error = error
+            if best > worst_optimal:
+                worst_optimal = best
+        return SimulationReport(
+            leaves=len(self.tree.leaf_ids),
+            epochs=self.epochs,
+            readings_per_epoch=self.readings_per_epoch,
+            summary_radio_bytes=summary_bytes,
+            raw_radio_bytes=raw_bytes,
+            peak_mote_memory_bytes=peak_mote_memory,
+            base_memory_bytes=base_memory,
+            worst_error=worst_error,
+            worst_optimal_error=worst_optimal,
+            guarantee_held=guarantee,
+            received_epochs=received_epochs,
+            lost_epochs=lost_epochs,
+        )

@@ -1,0 +1,13 @@
+"""Supporting data structures: addressable heap, linked list, record stacks."""
+
+from repro.structures.heap import AddressableMinHeap
+from repro.structures.linked_list import BucketList, BucketNode
+from repro.structures.monotone_stack import SuffixExtremaStack, SuffixWindow
+
+__all__ = [
+    "AddressableMinHeap",
+    "BucketList",
+    "BucketNode",
+    "SuffixExtremaStack",
+    "SuffixWindow",
+]

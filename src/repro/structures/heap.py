@@ -1,0 +1,183 @@
+"""An addressable binary min-heap.
+
+MIN-MERGE (Section 2.1.1 of the paper) keeps one key per adjacent bucket
+pair -- the error the histogram would incur if that pair were merged -- and
+repeatedly extracts the minimum.  After a merge, the keys of the neighbouring
+pairs change, so the heap must support *updating and removing arbitrary
+entries by handle*, not just push/pop.  The standard library ``heapq`` only
+offers lazy deletion, which lets the heap grow beyond ``O(B)`` and would
+spoil the memory accounting, so this module implements a classic
+position-tracked binary heap:
+
+* ``push(key, item) -> handle`` in O(log n),
+* ``pop_min() -> (key, item)`` in O(log n),
+* ``update(handle, new_key)`` in O(log n),
+* ``remove(handle)`` in O(log n),
+* ``peek_min()`` and ``__len__`` in O(1).
+
+Handles are small integer ids; using a stale handle (one already popped or
+removed) raises ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class AddressableMinHeap:
+    """Binary min-heap with O(log n) update/remove by handle."""
+
+    def __init__(self) -> None:
+        # Parallel arrays: _keys[i] / _items[i] / _handles[i] describe the
+        # entry at heap slot i.  _slot_of maps handle -> current slot.
+        self._keys: list[Any] = []
+        self._items: list[Any] = []
+        self._handles: list[int] = []
+        self._slot_of: dict[int, int] = {}
+        self._next_handle = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._slot_of
+
+    def push(self, key, item=None) -> int:
+        """Insert ``(key, item)`` and return a handle for later updates."""
+        handle = self._next_handle
+        self._next_handle += 1
+        slot = len(self._keys)
+        self._keys.append(key)
+        self._items.append(item)
+        self._handles.append(handle)
+        self._slot_of[handle] = slot
+        self._sift_up(slot)
+        return handle
+
+    def peek_min(self) -> tuple:
+        """Return ``(key, item)`` of the minimum entry without removing it."""
+        if not self._keys:
+            raise IndexError("peek_min on empty heap")
+        return self._keys[0], self._items[0]
+
+    def peek_min_handle(self) -> int:
+        """Return the handle of the minimum entry without removing it."""
+        if not self._keys:
+            raise IndexError("peek_min_handle on empty heap")
+        return self._handles[0]
+
+    def pop_min(self) -> tuple:
+        """Remove and return ``(key, item)`` of the minimum entry."""
+        if not self._keys:
+            raise IndexError("pop_min on empty heap")
+        key, item = self._keys[0], self._items[0]
+        self._delete_slot(0)
+        return key, item
+
+    def key_of(self, handle: int) -> Any:
+        """Current key of the entry identified by ``handle``."""
+        return self._keys[self._slot_of[handle]]
+
+    def item_of(self, handle: int) -> Any:
+        """Item payload of the entry identified by ``handle``."""
+        return self._items[self._slot_of[handle]]
+
+    def update(self, handle: int, new_key) -> None:
+        """Change the key of an existing entry (any direction)."""
+        slot = self._slot_of[handle]
+        old_key = self._keys[slot]
+        self._keys[slot] = new_key
+        if new_key < old_key:
+            self._sift_up(slot)
+        elif new_key > old_key:
+            self._sift_down(slot)
+
+    def remove(self, handle: int) -> tuple:
+        """Remove the entry identified by ``handle``; return ``(key, item)``."""
+        slot = self._slot_of[handle]
+        key, item = self._keys[slot], self._items[slot]
+        self._delete_slot(slot)
+        return key, item
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate over ``(key, item)`` pairs in arbitrary (heap) order."""
+        return iter(zip(self._keys, self._items))
+
+    def check_invariant(self) -> None:
+        """Assert the heap ordering and handle maps are consistent (tests)."""
+        n = len(self._keys)
+        for i in range(1, n):
+            parent = (i - 1) >> 1
+            if self._keys[parent] > self._keys[i]:
+                raise AssertionError(
+                    f"heap order violated at slot {i}: "
+                    f"{self._keys[parent]!r} > {self._keys[i]!r}"
+                )
+        if len(self._slot_of) != n:
+            raise AssertionError("handle map size mismatch")
+        for handle, slot in self._slot_of.items():
+            if self._handles[slot] != handle:
+                raise AssertionError(f"handle {handle} maps to wrong slot")
+
+    # -- internal helpers ------------------------------------------------
+
+    def _delete_slot(self, slot: int) -> None:
+        last = len(self._keys) - 1
+        del self._slot_of[self._handles[slot]]
+        if slot != last:
+            self._move(last, slot)
+            self._keys.pop()
+            self._items.pop()
+            self._handles.pop()
+            # The moved entry may need to travel either way.
+            self._sift_up(slot)
+            self._sift_down(slot)
+        else:
+            self._keys.pop()
+            self._items.pop()
+            self._handles.pop()
+
+    def _move(self, src: int, dst: int) -> None:
+        self._keys[dst] = self._keys[src]
+        self._items[dst] = self._items[src]
+        self._handles[dst] = self._handles[src]
+        self._slot_of[self._handles[dst]] = dst
+
+    def _sift_up(self, slot: int) -> None:
+        keys, items, handles = self._keys, self._items, self._handles
+        key, item, handle = keys[slot], items[slot], handles[slot]
+        while slot > 0:
+            parent = (slot - 1) >> 1
+            if keys[parent] <= key:
+                break
+            keys[slot] = keys[parent]
+            items[slot] = items[parent]
+            handles[slot] = handles[parent]
+            self._slot_of[handles[slot]] = slot
+            slot = parent
+        keys[slot], items[slot], handles[slot] = key, item, handle
+        self._slot_of[handle] = slot
+
+    def _sift_down(self, slot: int) -> None:
+        keys, items, handles = self._keys, self._items, self._handles
+        n = len(keys)
+        key, item, handle = keys[slot], items[slot], handles[slot]
+        while True:
+            child = 2 * slot + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and keys[right] < keys[child]:
+                child = right
+            if keys[child] >= key:
+                break
+            keys[slot] = keys[child]
+            items[slot] = items[child]
+            handles[slot] = handles[child]
+            self._slot_of[handles[slot]] = slot
+            slot = child
+        keys[slot], items[slot], handles[slot] = key, item, handle
+        self._slot_of[handle] = slot

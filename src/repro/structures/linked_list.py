@@ -1,0 +1,90 @@
+"""Doubly-linked list of histogram buckets.
+
+MIN-MERGE merges *adjacent* buckets, so the summary needs a sequence with
+O(1) neighbour access, O(1) splice-out of a merged pair, and O(1) append at
+the tail.  A Python ``list`` gives O(B) deletions; this intrusive linked
+list keeps every operation constant time and pairs each node with the heap
+handle of the merge key for the pair (node, node.next).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class BucketNode:
+    """A linked-list node carrying one bucket and its pair-merge heap handle.
+
+    ``pair_handle`` is the addressable-heap handle of the key for merging
+    this node's bucket with its successor's; it is ``None`` for the tail
+    node (which has no successor) and managed by the MIN-MERGE summary.
+    """
+
+    __slots__ = ("bucket", "prev", "next", "pair_handle")
+
+    def __init__(self, bucket: Any):
+        self.bucket = bucket
+        self.prev: Optional[BucketNode] = None
+        self.next: Optional[BucketNode] = None
+        self.pair_handle: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BucketNode({self.bucket!r})"
+
+
+class BucketList:
+    """Doubly-linked list with O(1) append, remove, and length."""
+
+    def __init__(self) -> None:
+        self.head: Optional[BucketNode] = None
+        self.tail: Optional[BucketNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[BucketNode]:
+        node = self.head
+        while node is not None:
+            yield node
+            node = node.next
+
+    def append(self, bucket: Any) -> BucketNode:
+        """Append a new node holding ``bucket``; return the node."""
+        node = BucketNode(bucket)
+        if self.tail is None:
+            self.head = self.tail = node
+        else:
+            node.prev = self.tail
+            self.tail.next = node
+            self.tail = node
+        self._size += 1
+        return node
+
+    def remove(self, node: BucketNode) -> None:
+        """Unlink ``node`` from the list in O(1)."""
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self.tail = node.prev
+        node.prev = node.next = None
+        self._size -= 1
+
+    def popleft(self) -> BucketNode:
+        """Remove and return the head node."""
+        if self.head is None:
+            raise IndexError("popleft on empty BucketList")
+        node = self.head
+        self.remove(node)
+        return node
+
+    def buckets(self) -> list:
+        """Snapshot of the bucket payloads in order."""
+        return [node.bucket for node in self]

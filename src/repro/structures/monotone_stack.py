@@ -1,0 +1,134 @@
+"""Monotone record stacks for suffix min/max queries on a growing stream.
+
+The REHIST baseline repeatedly needs the interval error
+``err(b+1..n) = (max - min) / 2`` of a *suffix* of the stream for many
+candidate breakpoints ``b`` while the stream keeps growing at the right end.
+A classic structure answers this: keep the positions that are
+left-to-right maxima *of the suffix order* -- i.e. positions ``p`` whose
+value strictly exceeds every later value.  Appending a new value pops all
+dominated tail records (amortized O(1)); the maximum over ``[p, n]`` is the
+value of the first record at position ``>= p`` (binary search, O(log s)
+where ``s`` is the current stack size).
+
+The stack size is data dependent: O(log n) expected for i.i.d. values,
+O(sqrt(n)) expected for a random walk, n in the worst case (a monotone
+stream).  REHIST's memory accounting includes the actual stack size.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+
+class SuffixExtremaStack:
+    """Record stack answering max (or min) over ``[p, n]`` for any ``p``.
+
+    Parameters
+    ----------
+    mode:
+        ``"max"`` keeps suffix maxima records, ``"min"`` suffix minima.
+    """
+
+    def __init__(self, mode: str = "max"):
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self._keep_greater = mode == "max"
+        self._positions: list[int] = []
+        self._values: list = []
+        self._count = 0  # number of stream items appended so far
+
+    def __len__(self) -> int:
+        """Number of records currently stored (not stream length)."""
+        return len(self._positions)
+
+    @property
+    def stream_length(self) -> int:
+        """Number of values appended so far."""
+        return self._count
+
+    def append(self, value) -> None:
+        """Append the next stream value (position = current stream length)."""
+        values = self._values
+        if self._keep_greater:
+            while values and values[-1] <= value:
+                values.pop()
+                self._positions.pop()
+        else:
+            while values and values[-1] >= value:
+                values.pop()
+                self._positions.pop()
+        self._positions.append(self._count)
+        values.append(value)
+        self._count += 1
+
+    def query(self, start: int):
+        """Extreme value over stream positions ``[start, n-1]`` (0-based).
+
+        ``start`` must satisfy ``0 <= start < stream_length``.
+        """
+        if not 0 <= start < self._count:
+            raise IndexError(
+                f"start {start} out of range for stream of length {self._count}"
+            )
+        # Records are stored with strictly increasing positions and (for
+        # 'max') strictly decreasing values.  The answer is the first record
+        # at position >= start.
+        idx = bisect_left(self._positions, start)
+        return self._values[idx]
+
+    def check_invariant(self) -> None:
+        """Assert positional and value monotonicity (tests)."""
+        for i in range(1, len(self._positions)):
+            if self._positions[i] <= self._positions[i - 1]:
+                raise AssertionError("record positions not increasing")
+            if self._keep_greater and self._values[i] >= self._values[i - 1]:
+                raise AssertionError("suffix-max values not decreasing")
+            if not self._keep_greater and self._values[i] <= self._values[i - 1]:
+                raise AssertionError("suffix-min values not increasing")
+
+
+class SuffixWindow:
+    """Paired suffix-max and suffix-min stacks exposing interval errors.
+
+    ``interval_error(start)`` returns the optimal single-bucket L-infinity
+    error ``(max - min) / 2`` of the stream suffix beginning at ``start``,
+    which is what the REHIST transition ``max(E_{k-1}(b), err(b+1..n))``
+    consumes.
+    """
+
+    def __init__(self) -> None:
+        self._maxima = SuffixExtremaStack("max")
+        self._minima = SuffixExtremaStack("min")
+
+    def __len__(self) -> int:
+        """Total records across both stacks (for memory accounting)."""
+        return len(self._maxima) + len(self._minima)
+
+    @property
+    def stream_length(self) -> int:
+        """Number of values appended so far."""
+        return self._maxima.stream_length
+
+    def append(self, value) -> None:
+        """Append the next stream value to both stacks."""
+        self._maxima.append(value)
+        self._minima.append(value)
+
+    def suffix_max(self, start: int):
+        """Maximum over stream positions ``[start, n-1]``."""
+        return self._maxima.query(start)
+
+    def suffix_min(self, start: int):
+        """Minimum over stream positions ``[start, n-1]``."""
+        return self._minima.query(start)
+
+    def interval_error(self, start: int) -> float:
+        """L-infinity error of one bucket covering positions [start, n-1]."""
+        return (self._maxima.query(start) - self._minima.query(start)) / 2.0
+
+
+def brute_force_suffix_extreme(values: Sequence, start: int, mode: str):
+    """Reference implementation used by the tests."""
+    window = values[start:]
+    return max(window) if mode == "max" else min(window)

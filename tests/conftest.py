@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: enough examples to find real bugs, no
+# per-example deadline (pure-Python geometry can be slow on CI boxes).
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Seeded PRNG for tests that build their own streams."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def brownian_2k() -> list[int]:
+    """A small quantized random walk shared by integration-style tests."""
+    from repro.data import brownian
+
+    return brownian(2048)
+
+
+@pytest.fixture(scope="session")
+def dow_jones_2k() -> list[int]:
+    from repro.data import dow_jones
+
+    return dow_jones(2048)

@@ -1,0 +1,141 @@
+"""Tests for in-network summary aggregation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    merge_min_merge_summaries,
+    merge_pwl_summaries,
+)
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.exceptions import EmptySummaryError, InvalidParameterError
+from repro.offline.optimal import optimal_error
+from repro.offline.optimal_pwl import optimal_pwl_error
+
+streams = st.lists(st.integers(0, 500), min_size=2, max_size=300)
+
+
+def _split(values, pieces):
+    """Split a list into ``pieces`` non-empty consecutive chunks."""
+    n = len(values)
+    pieces = min(pieces, n)
+    bounds = [i * n // pieces for i in range(pieces + 1)]
+    return [values[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+def _child(values, start, buckets=4):
+    summary = MinMergeHistogram(buckets=buckets)
+    summary._n = start  # children share the global index space
+    summary.extend(values)
+    return summary
+
+
+class TestValidation:
+    def test_needs_two_summaries(self):
+        child = _child([1, 2, 3], 0)
+        with pytest.raises(InvalidParameterError):
+            merge_min_merge_summaries([child])
+
+    def test_empty_child_rejected(self):
+        full = _child([1, 2], 0)
+        empty = MinMergeHistogram(buckets=4)
+        with pytest.raises(EmptySummaryError):
+            merge_min_merge_summaries([full, empty])
+
+    def test_non_contiguous_rejected(self):
+        left = _child([1, 2, 3], 0)
+        gap = _child([4, 5], 10)
+        with pytest.raises(InvalidParameterError):
+            merge_min_merge_summaries([left, gap])
+
+    def test_reindex_accepts_zero_based_children(self):
+        left = _child([1, 2, 3], 0)
+        right = _child([9, 9], 0)  # also indexed from zero
+        merged = merge_min_merge_summaries([left, right], reindex=True)
+        hist = merged.histogram()
+        assert hist.beg == 0
+        assert hist.end == 4
+
+
+class TestGuaranteePreserved:
+    @settings(max_examples=40)
+    @given(streams, st.integers(2, 5), st.integers(1, 5))
+    def test_merged_error_at_most_global_optimum(self, values, pieces, buckets):
+        """The module-level theorem: (1, 2) survives aggregation."""
+        chunks = _split(values, pieces)
+        start = 0
+        children = []
+        for chunk in chunks:
+            children.append(_child(chunk, start, buckets=buckets))
+            start += len(chunk)
+        merged = merge_min_merge_summaries(children, buckets=buckets)
+        assert merged.items_seen == len(values)
+        assert merged.bucket_count <= 2 * buckets
+        assert merged.error <= optimal_error(values, buckets) + 1e-12
+        hist = merged.histogram()
+        assert hist.beg == 0
+        assert hist.end == len(values) - 1
+        assert hist.max_error_against(values) == pytest.approx(hist.error)
+
+    @settings(max_examples=15)
+    @given(st.lists(st.integers(0, 500), min_size=8, max_size=300))
+    def test_tree_merge_matches_flat_merge_guarantee(self, values):
+        """Hierarchical (tree) aggregation keeps the same bound."""
+        chunks = _split(values, 4)
+        start = 0
+        children = []
+        for chunk in chunks:
+            children.append(_child(chunk, start, buckets=3))
+            start += len(chunk)
+        left = merge_min_merge_summaries(children[:2], buckets=3)
+        right = merge_min_merge_summaries(children[2:], buckets=3)
+        root = merge_min_merge_summaries([left, right], buckets=3)
+        assert root.error <= optimal_error(values, 3) + 1e-12
+
+    def test_default_buckets_is_smallest_child(self):
+        left = _child(list(range(50)), 0, buckets=8)
+        right = _child(list(range(50, 80)), 50, buckets=4)
+        merged = merge_min_merge_summaries([left, right])
+        assert merged.target_buckets == 4
+
+
+class TestPwlAggregation:
+    @staticmethod
+    def _pwl_child(values, start, buckets=3):
+        summary = PwlMinMergeHistogram(buckets=buckets, hull_epsilon=None)
+        summary._n = start
+        summary.extend(values)
+        return summary
+
+    @settings(max_examples=15)
+    @given(st.lists(st.integers(0, 100), min_size=4, max_size=80))
+    def test_pwl_merge_guarantee(self, values):
+        chunks = _split(values, 2)
+        left = self._pwl_child(chunks[0], 0)
+        right = self._pwl_child(chunks[1], len(chunks[0]))
+        merged = merge_pwl_summaries([left, right], buckets=3)
+        best = optimal_pwl_error(values, 3, tol=1e-4)
+        assert merged.error <= best + 1e-3
+        hist = merged.histogram()
+        assert hist.max_error_against(values) <= merged.error + 1e-9
+
+    def test_pwl_reindex(self):
+        left = self._pwl_child([2 * i for i in range(20)], 0)
+        right = self._pwl_child([2 * i for i in range(20)], 0)
+        merged = merge_pwl_summaries([left, right], reindex=True)
+        hist = merged.histogram()
+        assert hist.end == 39
+
+    def test_capped_hulls_supported(self):
+        left = PwlMinMergeHistogram(buckets=3, hull_epsilon=0.2)
+        left.extend([i * i % 500 for i in range(300)])
+        right = PwlMinMergeHistogram(buckets=3, hull_epsilon=0.2)
+        right._n = 300
+        right.extend([i * 3 % 500 for i in range(300)])
+        merged = merge_pwl_summaries([left, right], buckets=3)
+        assert merged.items_seen == 600
+        assert merged.bucket_count <= 6

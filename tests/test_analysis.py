@@ -1,0 +1,115 @@
+"""Tests for the capacity-planning module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compression_profile, plan_summary
+from repro.exceptions import InvalidParameterError
+
+streams = st.lists(st.integers(0, 300), min_size=4, max_size=120)
+
+
+class TestValidation:
+    def test_empty_sample(self):
+        with pytest.raises(InvalidParameterError):
+            plan_summary([], 1.0)
+        with pytest.raises(InvalidParameterError):
+            compression_profile([], [4])
+
+    def test_negative_target(self):
+        with pytest.raises(InvalidParameterError):
+            plan_summary([1, 2], -1.0)
+
+    def test_empty_sweep(self):
+        with pytest.raises(InvalidParameterError):
+            compression_profile([1, 2], [])
+
+
+class TestPlanSummary:
+    def test_plan_has_all_algorithms(self):
+        plan = plan_summary([((i * 37) % 100) for i in range(200)], 10.0)
+        names = {o.algorithm for o in plan.options}
+        assert names == {
+            "min-merge", "min-increment", "pwl-min-merge", "pwl-min-increment"
+        }
+
+    def test_best_picks_smallest_memory(self):
+        plan = plan_summary([((i * 37) % 100) for i in range(200)], 10.0)
+        best = plan.best()
+        assert best.projected_memory_bytes == min(
+            o.projected_memory_bytes for o in plan.options
+        )
+
+    def test_pwl_needs_no_more_buckets_than_serial(self):
+        plan = plan_summary([3 * i for i in range(300)], 5.0)
+        assert plan.pwl_buckets_needed <= plan.serial_buckets_needed
+
+    @settings(max_examples=20)
+    @given(streams, st.sampled_from([1.0, 5.0, 25.0]))
+    def test_planned_min_merge_budget_meets_target(self, values, target):
+        """Deploying the plan on the sample itself hits the target."""
+        from repro.core.min_merge import MinMergeHistogram
+
+        plan = plan_summary(values, target)
+        option = next(
+            o for o in plan.options if o.algorithm == "min-merge"
+        )
+        summary = MinMergeHistogram(buckets=option.buckets)
+        summary.extend(values)
+        assert summary.error <= target + 1e-9
+
+    @settings(max_examples=15)
+    @given(streams, st.sampled_from([2.0, 10.0]))
+    def test_planned_min_increment_budget_meets_target(self, values, target):
+        from repro.core.min_increment import MinIncrementHistogram
+
+        epsilon = 0.2
+        plan = plan_summary(values, target, epsilon=epsilon)
+        option = next(
+            o for o in plan.options if o.algorithm == "min-increment"
+        )
+        universe = max(2, max(values) + 1)
+        summary = MinIncrementHistogram(
+            buckets=option.buckets, epsilon=epsilon, universe=universe
+        )
+        summary.extend(values)
+        # Sized against target/(1+eps), so the (1+eps) answer fits the
+        # target (up to the ladder's 0.5 granularity floor).
+        assert summary.error <= max(target, 0.5) + 1e-9
+
+    def test_zero_target_counts_runs(self):
+        plan = plan_summary([1, 1, 2, 2, 3], 0.0)
+        assert plan.serial_buckets_needed == 3
+
+
+class TestCompressionProfile:
+    def test_rows_match_sweep(self):
+        values = [((i * 53) % 211) for i in range(150)]
+        rows = compression_profile(values, [2, 4, 8])
+        assert [r["buckets"] for r in rows] == [2, 4, 8]
+
+    def test_errors_monotone_in_buckets(self):
+        values = [((i * 53) % 211) for i in range(150)]
+        rows = compression_profile(values, [2, 4, 8, 16])
+        serial = [r["serial-error"] for r in rows]
+        assert serial == sorted(serial, reverse=True)
+
+    def test_pwl_ratio_at_most_one_plus_tol(self):
+        values = [((i * 53) % 211) for i in range(150)]
+        for row in compression_profile(values, [4, 8]):
+            if not math.isnan(row["pwl-ratio"]):
+                assert row["pwl-ratio"] <= 1.0 + 1e-6
+
+    def test_trending_data_shows_pwl_advantage(self):
+        values = [5 * i + ((i * 31) % 7) for i in range(300)]
+        rows = compression_profile(values, [4])
+        assert rows[0]["pwl-ratio"] < 0.2  # lines crush trends
+
+    def test_zero_error_gives_nan_ratio(self):
+        rows = compression_profile([5, 5, 5, 5], [2])
+        assert math.isnan(rows[0]["pwl-ratio"])

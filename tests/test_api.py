@@ -1,0 +1,95 @@
+"""Tests for the one-shot summarize() convenience API."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SUMMARIZE_METHODS, summarize
+from repro.exceptions import InvalidParameterError
+from repro.offline.optimal import optimal_error
+
+streams = st.lists(st.integers(0, 300), min_size=1, max_size=120)
+
+
+class TestValidation:
+    def test_empty_values(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([], 4)
+
+    def test_unknown_method(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([1, 2], 4, method="sketch")
+
+    def test_negative_values_rejected_by_ladder_methods(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([-5, 3], 4)
+
+    def test_negative_values_fine_for_min_merge_and_optimal(self):
+        assert summarize([-5, 3], 4, method="min-merge").coverage == 2
+        assert summarize([-5, 3], 4, method="optimal").coverage == 2
+
+
+class TestMethods:
+    @pytest.mark.parametrize("method", SUMMARIZE_METHODS)
+    def test_every_method_covers_the_input(self, method):
+        values = [((i * 37) % 211) for i in range(300)]
+        hist = summarize(values, 8, method=method)
+        assert hist.beg == 0
+        assert hist.end == 299
+
+    @pytest.mark.parametrize(
+        "method", [m for m in SUMMARIZE_METHODS if m != "min-merge"]
+    )
+    def test_bucket_budget_respected(self, method):
+        values = [((i * 53) % 307) for i in range(400)]
+        hist = summarize(values, 8, method=method)
+        assert len(hist) <= 8
+
+    def test_min_merge_uses_up_to_double(self):
+        values = [((i * 53) % 307) for i in range(400)]
+        hist = summarize(values, 8, method="min-merge")
+        assert len(hist) <= 16
+
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 6))
+    def test_default_method_guarantee(self, values, buckets):
+        hist = summarize(values, buckets, epsilon=0.2)
+        best = optimal_error(values, buckets)
+        assert hist.max_error_against(values) <= max(
+            1.2 * best, 0.5
+        ) + 1e-9
+
+    @settings(max_examples=15)
+    @given(streams, st.integers(1, 5))
+    def test_optimal_method_is_exact(self, values, buckets):
+        hist = summarize(values, buckets, method="optimal")
+        assert hist.error == optimal_error(values, buckets)
+
+    def test_pwl_beats_serial_on_a_trend(self):
+        values = [3 * i + (i % 2) for i in range(200)]
+        serial = summarize(values, 4)
+        pwl = summarize(values, 4, method="pwl")
+        assert pwl.max_error_against(values) <= serial.max_error_against(values)
+
+
+class TestNumpyCompatibility:
+    def test_numpy_arrays_accepted(self):
+        np = pytest.importorskip("numpy")
+        values = np.arange(200, dtype=np.int64) % 37
+        hist = summarize(values, 8)
+        assert hist.coverage == 200
+
+    def test_numpy_ints_in_streaming_classes(self):
+        np = pytest.importorskip("numpy")
+        from repro import MinMergeHistogram, MinIncrementHistogram
+
+        values = (np.arange(300, dtype=np.int64) * 13) % 251
+        mm = MinMergeHistogram(buckets=4)
+        mm.extend(values)
+        mi = MinIncrementHistogram(buckets=4, epsilon=0.2, universe=251)
+        mi.extend(values)
+        assert mm.items_seen == mi.items_seen == 300
+        listed = values.tolist()
+        assert mm.error <= optimal_error(listed, 4)

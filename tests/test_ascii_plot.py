@@ -1,0 +1,104 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.harness.ascii_plot import ascii_chart
+
+
+class TestValidation:
+    def test_empty_values(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([])
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1, 2], [1, 2, 3])
+
+    def test_tiny_dimensions(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1, 2], width=1)
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1, 2], height=1)
+
+
+class TestRendering:
+    def test_dimensions(self):
+        chart = ascii_chart(list(range(100)), width=40, height=10, title="t")
+        lines = chart.splitlines()
+        # title + height rows + axis + index labels.
+        assert len(lines) == 1 + 10 + 2
+        body = lines[1:11]
+        assert all(line.endswith("|") for line in body)
+        assert all(len(line) == len(body[0]) for line in body)
+
+    def test_y_labels_show_range(self):
+        chart = ascii_chart([5, 10, 20])
+        assert "20" in chart
+        assert "5" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart([7, 7, 7, 7], width=8, height=4)
+        assert "." in chart
+
+    def test_monotone_ramp_is_diagonal(self):
+        chart = ascii_chart(list(range(64)), width=16, height=8)
+        rows = [line.split("|")[1] for line in chart.splitlines() if "|" in line]
+        first_marks = [row.find(".") for row in rows if "." in row]
+        # The leftmost data mark moves right as we go up the chart bottom-up
+        # reversed: top rows hold the large (late) values.
+        assert first_marks == sorted(first_marks, reverse=True)
+
+    def test_reconstruction_overlay(self):
+        values = [0, 0, 10, 10]
+        approx = [0.0, 0.0, 10.0, 10.0]
+        chart = ascii_chart(values, approx, width=8, height=6)
+        assert "@" in chart  # overlap marker
+        assert "reconstruction" in chart
+
+    def test_divergent_reconstruction_shows_hash(self):
+        values = [0] * 32
+        approx = [5.0] * 32
+        chart = ascii_chart(values, approx, width=16, height=8)
+        assert "#" in chart
+
+    def test_deterministic(self):
+        values = [((i * 31) % 17) for i in range(80)]
+        assert ascii_chart(values) == ascii_chart(values)
+
+
+class TestCliPlot:
+    def test_plot_command(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "plot",
+                "--dataset", "brownian",
+                "--algorithm", "min-merge",
+                "-B", "8",
+                "-n", "512",
+                "--width", "40",
+                "--height", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "error=" in out
+        assert "reconstruction" in out
+
+    def test_plot_sliding_window_clips(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "plot",
+                "--algorithm", "sliding-window",
+                "-B", "4",
+                "-n", "400",
+                "--width", "30",
+                "--height", "6",
+            ]
+        ) == 0
+        assert "sliding-window" in capsys.readouterr().out

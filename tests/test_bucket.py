@@ -1,0 +1,122 @@
+"""Unit tests for the serial-histogram bucket."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bucket import Bucket
+from repro.exceptions import InvalidParameterError
+
+
+class TestConstruction:
+    def test_singleton(self):
+        b = Bucket.singleton(7, 42)
+        assert (b.beg, b.end, b.min, b.max) == (7, 7, 42, 42)
+        assert b.count == 1
+        assert b.error == 0.0
+        assert b.representative == 42.0
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            Bucket(5, 4, 0, 1)
+
+    def test_invalid_min_max(self):
+        with pytest.raises(InvalidParameterError):
+            Bucket(0, 1, 10, 5)
+
+    def test_repr_contains_fields(self):
+        assert "beg=1" in repr(Bucket(1, 2, 3, 4))
+
+
+class TestErrorAndRepresentative:
+    def test_midpoint_representative(self):
+        b = Bucket(0, 3, 10, 20)
+        assert b.representative == 15.0
+        assert b.error == 5.0
+
+    def test_error_is_half_range(self):
+        b = Bucket(0, 0, -3, 9)
+        assert b.error == 6.0
+
+    @given(st.integers(-1000, 1000), st.integers(0, 500))
+    def test_representative_minimizes_linf(self, lo, spread):
+        hi = lo + spread
+        b = Bucket(0, 1, lo, hi)
+        rep = b.representative
+        # The midpoint's worst deviation from {lo, hi} is the half-range;
+        # any other representative does worse on one of the extremes.
+        assert max(abs(lo - rep), abs(hi - rep)) == b.error
+        for other in (rep - 1, rep + 1, lo, hi):
+            assert max(abs(lo - other), abs(hi - other)) >= b.error
+
+
+class TestExtend:
+    def test_extend_updates_range_and_extremes(self):
+        b = Bucket.singleton(0, 5)
+        b.extend(9)
+        assert (b.beg, b.end, b.min, b.max) == (0, 1, 5, 9)
+        b.extend(3)
+        assert (b.beg, b.end, b.min, b.max) == (0, 2, 3, 9)
+
+    def test_extend_with_interior_value_keeps_extremes(self):
+        b = Bucket(0, 1, 0, 10)
+        b.extend(5)
+        assert (b.min, b.max) == (0, 10)
+
+    def test_would_extend_error_does_not_mutate(self):
+        b = Bucket.singleton(0, 5)
+        err = b.would_extend_error(15)
+        assert err == 5.0
+        assert (b.beg, b.end, b.min, b.max) == (0, 0, 5, 5)
+
+    @given(
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+    )
+    def test_would_extend_matches_actual_extend(self, a, b_val, c):
+        lo, hi = min(a, b_val), max(a, b_val)
+        bucket = Bucket(0, 1, lo, hi)
+        predicted = bucket.would_extend_error(c)
+        bucket.extend(c)
+        assert bucket.error == predicted
+
+
+class TestMerge:
+    def test_merged_with_adjacent(self):
+        left = Bucket(0, 2, 1, 5)
+        right = Bucket(3, 7, 0, 4)
+        merged = left.merged_with(right)
+        assert (merged.beg, merged.end, merged.min, merged.max) == (0, 7, 0, 5)
+
+    def test_merge_error_matches_merged(self):
+        left = Bucket(0, 2, 1, 5)
+        right = Bucket(3, 7, 0, 4)
+        assert left.merge_error_with(right) == left.merged_with(right).error
+
+    def test_non_adjacent_merge_raises(self):
+        left = Bucket(0, 2, 1, 5)
+        gap = Bucket(4, 7, 0, 4)
+        with pytest.raises(InvalidParameterError):
+            left.merged_with(gap)
+
+    def test_merge_error_is_at_least_each_side(self):
+        left = Bucket(0, 2, 1, 5)
+        right = Bucket(3, 7, 0, 4)
+        merged_error = left.merge_error_with(right)
+        assert merged_error >= left.error
+        assert merged_error >= right.error
+
+
+class TestEquality:
+    def test_equal_buckets(self):
+        assert Bucket(0, 1, 2, 3) == Bucket(0, 1, 2, 3)
+        assert hash(Bucket(0, 1, 2, 3)) == hash(Bucket(0, 1, 2, 3))
+
+    def test_unequal_buckets(self):
+        assert Bucket(0, 1, 2, 3) != Bucket(0, 1, 2, 4)
+
+    def test_not_equal_to_other_types(self):
+        assert Bucket(0, 1, 2, 3) != (0, 1, 2, 3)

@@ -1,0 +1,160 @@
+"""Checkpoint round-trips: restored summaries are behaviourally identical."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import from_json, restore, state_dict, to_json
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.sliding_window import SlidingWindowMinIncrement
+from repro.exceptions import InvalidParameterError
+
+UNIVERSE = 512
+streams = st.lists(st.integers(0, UNIVERSE - 1), min_size=1, max_size=150)
+
+
+def _snapshot(summary) -> tuple:
+    """Observable state: buckets of the answer, error, memory."""
+    hist = summary.histogram()
+    return (
+        [(s.beg, s.end, s.left, s.right) for s in hist],
+        hist.error,
+        summary.memory_bytes(),
+        summary.items_seen,
+    )
+
+
+class TestValidation:
+    def test_unsupported_type(self):
+        with pytest.raises(InvalidParameterError):
+            state_dict(object())
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            restore({"kind": "count-min-sketch"})
+
+    def test_malformed_payload(self):
+        with pytest.raises(InvalidParameterError):
+            restore({"kind": "min-merge"})
+        with pytest.raises(InvalidParameterError):
+            restore([])
+
+    def test_malformed_json(self):
+        with pytest.raises(InvalidParameterError):
+            from_json("{")
+
+
+class TestMinMerge:
+    @given(streams)
+    def test_round_trip_at_rest_is_exact(self, values):
+        """Restoring without further inserts reproduces the exact state."""
+        summary = MinMergeHistogram(buckets=4)
+        summary.extend(values)
+        resumed = restore(state_dict(summary))
+        assert _snapshot(resumed) == _snapshot(summary)
+        resumed.check_heap_consistency()
+
+    @given(streams, streams)
+    def test_restore_then_continue_keeps_guarantees(self, prefix, suffix):
+        """Pause/restore preserves the algorithm's guarantees.
+
+        Heap *tie-breaking* order is not serialized, so when merge keys tie
+        the resumed run may pick a different (equally minimal) pair and the
+        partitions can diverge -- but both runs must keep the min-merge
+        invariant and Theorem 1's error bound.
+        """
+        from repro.offline.optimal import optimal_error
+
+        continuous = MinMergeHistogram(buckets=4)
+        continuous.extend(prefix)
+        continuous.extend(suffix)
+
+        paused = MinMergeHistogram(buckets=4)
+        paused.extend(prefix)
+        resumed = restore(state_dict(paused))
+        resumed.extend(suffix)
+
+        assert resumed.items_seen == continuous.items_seen
+        assert resumed.bucket_count == continuous.bucket_count
+        assert resumed.memory_bytes() == continuous.memory_bytes()
+        resumed.check_heap_consistency()
+        resumed.check_min_merge_property()
+        best = optimal_error(prefix + suffix, 4)
+        assert resumed.error <= best + 1e-12
+        assert continuous.error <= best + 1e-12
+
+    def test_linear_findmin_round_trip(self):
+        summary = MinMergeHistogram(buckets=3, findmin="linear")
+        summary.extend(range(100))
+        resumed = restore(state_dict(summary))
+        assert resumed.findmin == "linear"
+        assert _snapshot(resumed) == _snapshot(summary)
+
+    def test_json_round_trip(self):
+        summary = MinMergeHistogram(buckets=3)
+        summary.extend([5, 99, 2, 47, 13])
+        resumed = from_json(to_json(summary))
+        assert _snapshot(resumed) == _snapshot(summary)
+
+
+class TestMinIncrement:
+    @settings(max_examples=30)
+    @given(streams, streams)
+    def test_restore_then_continue_matches_uninterrupted(self, prefix, suffix):
+        kwargs = {"buckets": 4, "epsilon": 0.2, "universe": UNIVERSE}
+        continuous = MinIncrementHistogram(**kwargs)
+        continuous.extend(prefix)
+        continuous.extend(suffix)
+
+        paused = MinIncrementHistogram(**kwargs)
+        paused.extend(prefix)
+        resumed = restore(state_dict(paused))
+        resumed.extend(suffix)
+
+        assert _snapshot(resumed) == _snapshot(continuous)
+        assert resumed.alive_levels == continuous.alive_levels
+
+    def test_buffered_summary_preserves_pending_items(self):
+        kwargs = {
+            "buckets": 4, "epsilon": 0.2, "universe": UNIVERSE,
+            "batch_size": 64,
+        }
+        summary = MinIncrementHistogram(**kwargs)
+        summary.extend([1, 2, 3])  # still sitting in the buffer
+        resumed = restore(state_dict(summary))
+        assert resumed.items_seen == 3
+        assert resumed.histogram().coverage == 3
+
+
+class TestSlidingWindow:
+    @settings(max_examples=30)
+    @given(streams, streams, st.integers(4, 64))
+    def test_restore_then_continue_matches_uninterrupted(
+        self, prefix, suffix, window
+    ):
+        kwargs = {
+            "buckets": 4, "epsilon": 0.2, "universe": UNIVERSE,
+            "window": window,
+        }
+        continuous = SlidingWindowMinIncrement(**kwargs)
+        continuous.extend(prefix)
+        continuous.extend(suffix)
+
+        paused = SlidingWindowMinIncrement(**kwargs)
+        paused.extend(prefix)
+        resumed = restore(state_dict(paused))
+        resumed.extend(suffix)
+
+        assert _snapshot(resumed) == _snapshot(continuous)
+
+    def test_window_position_preserved(self):
+        summary = SlidingWindowMinIncrement(
+            buckets=4, epsilon=0.2, universe=UNIVERSE, window=10
+        )
+        summary.extend(range(50))
+        resumed = restore(state_dict(summary))
+        assert resumed.window_start == summary.window_start
+        assert resumed.histogram().beg == 40

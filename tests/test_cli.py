@@ -1,0 +1,161 @@
+"""Tests for the repro-histogram command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+class TestListDatasets:
+    def test_lists_all_three(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dow-jones", "merced", "brownian"):
+            assert name in out
+
+
+class TestSummarize:
+    def test_min_merge_summary(self, capsys):
+        code = main(
+            [
+                "summarize",
+                "--dataset", "brownian",
+                "--algorithm", "min-merge",
+                "-B", "8",
+                "-n", "1000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error" in out
+        assert "memory" in out
+        assert "1,000 points" in out
+
+    def test_sliding_window_defaults_window(self, capsys):
+        code = main(
+            [
+                "summarize",
+                "--algorithm", "sliding-window",
+                "-B", "4",
+                "-n", "400",
+            ]
+        )
+        assert code == 0
+        assert "sliding-window" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["summarize", "--algorithm", "t-digest"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["make-coffee"])
+
+
+class TestPlan:
+    def test_plan_command(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--dataset", "brownian",
+                "-n", "1024",
+                "--target-error", "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+        assert "min-merge" in out
+        assert "buckets needed" in out
+
+    def test_plan_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--dataset", "brownian"])
+
+
+class TestFigureCommands:
+    def test_fig5_prints_tables(self, capsys, monkeypatch):
+        from repro.harness import experiments
+
+        original = experiments.fig5_memory_vs_buckets
+        monkeypatch.setattr(
+            experiments,
+            "fig5_memory_vs_buckets",
+            lambda paper_scale=False: original(
+                datasets=("brownian",), bucket_sweep=(8,), n=600
+            ),
+        )
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "rehist" in out
+        assert "min-merge" in out
+
+    def test_fig6_prints_table(self, capsys, monkeypatch):
+        from repro.harness import experiments
+
+        original = experiments.fig6_memory_vs_stream_size
+        monkeypatch.setattr(
+            experiments,
+            "fig6_memory_vs_stream_size",
+            lambda paper_scale=False: original(
+                sizes=(300, 600), buckets=4, max_rehist_n=600
+            ),
+        )
+        assert main(["fig6"]) == 0
+        assert "min-increment" in capsys.readouterr().out
+
+    def test_fig8_paper_flag_parses(self, capsys, monkeypatch):
+        from repro.harness import experiments
+
+        captured = {}
+        original = experiments.fig8_running_time
+
+        def spy(paper_scale=False):
+            captured["paper_scale"] = paper_scale
+            return original(sizes=(300,), buckets=4, max_rehist_n=0)
+
+        monkeypatch.setattr(experiments, "fig8_running_time", spy)
+        assert main(["fig8", "--paper"]) == 0
+        assert captured["paper_scale"] is True
+
+    def test_fig9_prints_table(self, capsys, monkeypatch):
+        # Shrink the driver for test speed (capture the original before
+        # patching -- cli and this test share the experiments module).
+        from repro.harness import experiments
+
+        original = experiments.fig9_pwl_vs_serial
+        monkeypatch.setattr(
+            experiments,
+            "fig9_pwl_vs_serial",
+            lambda paper_scale=False: original(bucket_sweep=(8,), n=400),
+        )
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "pwl-min-merge" in out
+
+    def test_sliding_window_command(self, capsys, monkeypatch):
+        from repro.harness import experiments
+
+        original = experiments.sliding_window_experiment
+        monkeypatch.setattr(
+            experiments,
+            "sliding_window_experiment",
+            lambda: original(n=1200, windows=(256,), buckets=4),
+        )
+        assert main(["sliding-window"]) == 0
+        assert "window" in capsys.readouterr().out
+
+    def test_wavelet_command(self, capsys, monkeypatch):
+        from repro.harness import experiments
+
+        original = experiments.wavelet_comparison
+        monkeypatch.setattr(
+            experiments,
+            "wavelet_comparison",
+            lambda: original(n=512, budgets=(8,)),
+        )
+        assert main(["wavelet"]) == 0
+        assert "wavelet-linf" in capsys.readouterr().out

@@ -1,0 +1,146 @@
+"""Tests for static and streaming convex hulls."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.convex_hull import StreamingHull, convex_hull
+from repro.geometry.point import cross
+
+# x-sorted point streams with strictly increasing integer x.
+def xy_streams(max_size=80, value_range=200):
+    return st.lists(
+        st.integers(-value_range, value_range), min_size=1, max_size=max_size
+    ).map(lambda ys: [(i, y) for i, y in enumerate(ys)])
+
+
+class TestStaticHull:
+    def test_empty(self):
+        assert convex_hull([]) == []
+
+    def test_single_point(self):
+        assert convex_hull([(1, 2)]) == [(1, 2)]
+
+    def test_two_points(self):
+        assert convex_hull([(0, 0), (1, 1)]) == [(0, 0), (1, 1)]
+
+    def test_collinear_points_reduce_to_endpoints(self):
+        pts = [(i, 2 * i) for i in range(5)]
+        assert convex_hull(pts) == [(0, 0), (4, 8)]
+
+    def test_square(self):
+        pts = [(0, 0), (0, 1), (1, 0), (1, 1), (0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert (0.5, 0.5) not in hull
+
+    def test_duplicates_ignored(self):
+        pts = [(0, 0), (0, 0), (1, 1), (1, 1)]
+        assert convex_hull(pts) == [(0, 0), (1, 1)]
+
+    def test_ccw_orientation(self):
+        pts = [(0, 0), (4, 0), (4, 3), (0, 3), (2, 1)]
+        hull = convex_hull(pts)
+        n = len(hull)
+        for i in range(n):
+            assert cross(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]) > 0
+
+
+class TestStreamingHull:
+    def test_empty_hull_is_falsy(self):
+        hull = StreamingHull()
+        assert not hull
+        assert hull.vertex_count == 0
+        assert hull.vertices() == []
+
+    def test_single_point(self):
+        hull = StreamingHull.from_points([(0, 5)])
+        assert hull.vertex_count == 1
+        assert hull.vertices() == [(0, 5)]
+
+    def test_non_increasing_x_rejected(self):
+        hull = StreamingHull.from_points([(0, 0), (1, 1)])
+        with pytest.raises(InvalidParameterError):
+            hull.add(1, 5)
+        with pytest.raises(InvalidParameterError):
+            hull.add(0, 5)
+
+    def test_point_count_vs_vertex_count(self):
+        # Interior points disappear from the hull but count as seen.
+        hull = StreamingHull.from_points([(0, 0), (1, 0), (2, 0), (3, 5)])
+        assert hull.point_count == 4
+        assert hull.vertex_count == 3  # (0,0), (3,5), and one of the bottom
+
+    @given(xy_streams())
+    def test_matches_static_hull(self, points):
+        hull = StreamingHull.from_points(points)
+        hull.check_invariant()
+        assert sorted(hull.vertices()) == sorted(convex_hull(points))
+
+    @given(xy_streams(max_size=40))
+    def test_vertices_ccw(self, points):
+        hull = StreamingHull.from_points(points)
+        verts = hull.vertices()
+        if len(verts) < 3:
+            return
+        n = len(verts)
+        for i in range(n):
+            assert cross(verts[i], verts[(i + 1) % n], verts[(i + 2) % n]) >= 0
+
+
+class TestUndo:
+    def test_undo_without_add_raises(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingHull().undo_last_add()
+
+    def test_double_undo_raises(self):
+        hull = StreamingHull.from_points([(0, 0), (1, 1)])
+        hull.undo_last_add()
+        with pytest.raises(InvalidParameterError):
+            hull.undo_last_add()
+
+    @given(xy_streams(max_size=60))
+    def test_undo_restores_exact_state(self, points):
+        if len(points) < 2:
+            return
+        hull = StreamingHull.from_points(points[:-1])
+        before = (list(hull.lower), list(hull.upper), hull.point_count)
+        hull.add(*points[-1])
+        hull.undo_last_add()
+        assert (hull.lower, hull.upper, hull.point_count) == before
+
+    def test_add_after_undo_works(self):
+        hull = StreamingHull.from_points([(0, 0), (1, 10)])
+        hull.undo_last_add()
+        hull.add(1, -3)
+        assert sorted(hull.vertices()) == [(0, 0), (1, -3)]
+
+
+class TestUnion:
+    def test_union_requires_disjoint_x(self):
+        left = StreamingHull.from_points([(0, 0), (5, 1)])
+        right = StreamingHull.from_points([(3, 0), (8, 1)])
+        with pytest.raises(InvalidParameterError):
+            left.union(right)
+
+    @given(xy_streams(max_size=40), xy_streams(max_size=40))
+    def test_union_equals_hull_of_all_points(self, left_pts, right_pts):
+        offset = len(left_pts)
+        right_pts = [(x + offset, y) for x, y in right_pts]
+        left = StreamingHull.from_points(left_pts)
+        right = StreamingHull.from_points(right_pts)
+        merged = left.union(right)
+        merged.check_invariant()
+        assert sorted(merged.vertices()) == sorted(
+            convex_hull(left_pts + right_pts)
+        )
+        assert merged.point_count == len(left_pts) + len(right_pts)
+
+    def test_union_with_empty(self):
+        left = StreamingHull()
+        right = StreamingHull.from_points([(0, 0), (1, 1)])
+        merged = left.union(right)
+        assert sorted(merged.vertices()) == [(0, 0), (1, 1)]

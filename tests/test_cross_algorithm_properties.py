@@ -1,0 +1,146 @@
+"""Cross-algorithm properties: relationships the theory forces *between*
+algorithms, checked on arbitrary streams.
+
+Each assertion is a theorem chain, not an empirical hope -- e.g. MIN-MERGE
+(2B buckets) <= optimal(B) <= MIN-INCREMENT answer, so the two streaming
+summaries are themselves provably ordered.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MinIncrementHistogram,
+    MinMergeHistogram,
+    RehistHistogram,
+    SlidingWindowMinIncrement,
+    optimal_error,
+    optimal_pwl_error,
+    summarize,
+)
+
+UNIVERSE = 512
+streams = st.lists(st.integers(0, UNIVERSE - 1), min_size=1, max_size=200)
+
+
+class TestOrderingChains:
+    @given(streams, st.integers(1, 8))
+    def test_min_merge_below_min_increment(self, values, buckets):
+        """mm(2B buckets) <= opt(B) <= mi answer: a forced ordering."""
+        mm = MinMergeHistogram(buckets=buckets)
+        mm.extend(values)
+        mi = MinIncrementHistogram(
+            buckets=buckets, epsilon=0.2, universe=UNIVERSE
+        )
+        mi.extend(values)
+        assert mm.error <= mi.error + 1e-12
+
+    @given(streams, st.integers(1, 6))
+    def test_rehist_and_min_increment_bracket_optimal(self, values, buckets):
+        best = optimal_error(values, buckets)
+        mi = MinIncrementHistogram(
+            buckets=buckets, epsilon=0.2, universe=UNIVERSE
+        )
+        mi.extend(values)
+        rh = RehistHistogram(buckets=buckets, epsilon=0.2, universe=UNIVERSE)
+        rh.extend(values)
+        for answer in (mi.error, rh.error):
+            assert best - 1e-9 <= answer <= max(1.2 * best, 0.5) + 1e-9
+
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 5))
+    def test_pwl_optimum_never_above_serial(self, values, buckets):
+        """Lines generalize constants, so the PWL optimum dominates."""
+        serial = optimal_error(values, buckets)
+        pwl = optimal_pwl_error(values, buckets, tol=1e-3)
+        assert pwl <= serial + 1e-3
+        # And both are bounded by the single-bucket half-range.
+        whole = (max(values) - min(values)) / 2.0
+        assert serial <= whole + 1e-12
+
+    @given(streams, st.integers(1, 6))
+    def test_window_covering_stream_matches_full_summary(self, values, buckets):
+        """With w >= n the sliding window IS the full-stream problem."""
+        sw = SlidingWindowMinIncrement(
+            buckets=buckets, epsilon=0.2, universe=UNIVERSE,
+            window=len(values) + 10,
+        )
+        sw.extend(values)
+        mi = MinIncrementHistogram(
+            buckets=buckets, epsilon=0.2, universe=UNIVERSE
+        )
+        mi.extend(values)
+        # Identical ladder, identical greedy; the window answer may keep
+        # one extra bucket but never a worse error.
+        assert sw.histogram().error <= mi.error + 1e-12
+        assert sw.histogram().beg == 0
+
+
+class TestSummarizeConsistency:
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 6))
+    def test_summarize_matches_direct_min_increment(self, values, buckets):
+        via_api = summarize(values, buckets, method="min-increment", epsilon=0.2)
+        direct = MinIncrementHistogram(
+            buckets=buckets, epsilon=0.2, universe=max(2, max(values) + 1)
+        )
+        direct.extend(values)
+        assert via_api.error == direct.histogram().error
+        assert len(via_api) == len(direct.histogram())
+
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 6))
+    def test_summarize_optimal_matches_offline(self, values, buckets):
+        assert summarize(values, buckets, method="optimal").error == (
+            optimal_error(values, buckets)
+        )
+
+
+class TestAggregationAgainstDirect:
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(0, 300), min_size=2, max_size=150),
+        st.data(),
+    )
+    def test_arbitrary_split_merge_matches_bound(self, values, data):
+        """Hypothesis picks the cut point; the merged bound must hold."""
+        from repro.core.aggregation import merge_min_merge_summaries
+
+        cut = data.draw(st.integers(1, len(values) - 1))
+        left = MinMergeHistogram(buckets=3)
+        left.extend(values[:cut])
+        right = MinMergeHistogram(buckets=3)
+        right._n = cut
+        right.extend(values[cut:])
+        merged = merge_min_merge_summaries([left, right], buckets=3)
+        assert merged.error <= optimal_error(values, 3) + 1e-12
+        # The merged summary is also never better than a direct streaming
+        # run's floor: it is a 6-bucket histogram of the same data.
+        assert merged.error >= optimal_error(values, 6) - 1e-12
+
+
+class TestCheckpointTransparency:
+    @settings(max_examples=20)
+    @given(streams, st.integers(4, 40))
+    def test_sliding_window_checkpoint_mid_stream(self, values, window):
+        """Checkpoint anywhere in the stream; the answer is unchanged."""
+        from repro.checkpoint import restore, state_dict
+
+        cut = len(values) // 2
+        continuous = SlidingWindowMinIncrement(
+            buckets=4, epsilon=0.2, universe=UNIVERSE, window=window
+        )
+        continuous.extend(values)
+
+        paused = SlidingWindowMinIncrement(
+            buckets=4, epsilon=0.2, universe=UNIVERSE, window=window
+        )
+        paused.extend(values[:cut])
+        resumed = restore(state_dict(paused))
+        resumed.extend(values[cut:])
+        a, b = resumed.histogram(), continuous.histogram()
+        assert list(a) == list(b)
+        assert a.error == b.error

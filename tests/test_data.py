@@ -1,0 +1,173 @@
+"""Tests for generators, datasets, and quantization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.datasets import (
+    DEFAULT_UNIVERSE,
+    brownian,
+    dataset_by_name,
+    dow_jones,
+    list_datasets,
+    merced,
+)
+from repro.data.generators import (
+    ar1_process,
+    brownian_walk,
+    mixture_stream,
+    sine_wave,
+    spike_train,
+    step_function,
+    uniform_noise,
+)
+from repro.data.quantize import quantize_to_universe
+from repro.exceptions import InvalidParameterError
+
+
+class TestQuantize:
+    def test_empty(self):
+        assert quantize_to_universe([], 16) == []
+
+    def test_invalid_universe(self):
+        with pytest.raises(InvalidParameterError):
+            quantize_to_universe([1.0], 1)
+
+    def test_constant_maps_to_midpoint(self):
+        assert quantize_to_universe([3.0, 3.0], 100) == [50, 50]
+
+    def test_endpoints_map_to_domain_edges(self):
+        out = quantize_to_universe([0.0, 1.0], 256)
+        assert out == [0, 255]
+
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100
+        ),
+        st.integers(2, 1 << 15),
+    )
+    def test_output_in_domain_and_monotone(self, values, universe):
+        out = quantize_to_universe(values, universe)
+        assert len(out) == len(values)
+        assert all(0 <= v < universe for v in out)
+        # Order-preserving: if a <= b then q(a) <= q(b).
+        pairs = sorted(zip(values, out))
+        quantized_in_order = [q for _v, q in pairs]
+        assert quantized_in_order == sorted(quantized_in_order)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            brownian_walk,
+            uniform_noise,
+            # sine_wave is seed-independent unless noisy; test the noisy form.
+            lambda n, seed: sine_wave(n, seed=seed, noise=0.5),
+            step_function,
+            spike_train,
+            ar1_process,
+            mixture_stream,
+        ],
+    )
+    def test_length_and_determinism(self, generator):
+        a = generator(257, seed=5)
+        b = generator(257, seed=5)
+        c = generator(257, seed=6)
+        assert len(a) == 257
+        assert a == b
+        assert a != c
+
+    @pytest.mark.parametrize(
+        "generator",
+        [brownian_walk, uniform_noise, sine_wave, step_function, spike_train,
+         ar1_process, mixture_stream],
+    )
+    def test_rejects_empty_length(self, generator):
+        with pytest.raises(InvalidParameterError):
+            generator(0)
+
+    def test_uniform_noise_bounds(self):
+        values = uniform_noise(500, seed=1, low=2.0, high=3.0)
+        assert all(2.0 <= v < 3.0 for v in values)
+        with pytest.raises(InvalidParameterError):
+            uniform_noise(5, low=3.0, high=2.0)
+
+    def test_step_function_levels(self):
+        values = step_function(100, steps=4, jitter=0.0)
+        assert len(set(values)) <= 4
+        with pytest.raises(InvalidParameterError):
+            step_function(10, steps=0)
+
+    def test_spike_train_has_spikes(self):
+        values = spike_train(
+            2000, seed=2, spike_probability=0.01, spike_height=50.0, noise=0.1
+        )
+        assert max(values) > 20.0
+        with pytest.raises(InvalidParameterError):
+            spike_train(10, spike_probability=1.5)
+
+    def test_ar1_phi_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ar1_process(10, phi=1.0)
+
+    def test_brownian_walk_starts_at_zero(self):
+        assert brownian_walk(10, seed=0)[0] == 0.0
+
+
+class TestDatasets:
+    def test_registry_lists_three(self):
+        specs = list_datasets()
+        assert [s.name for s in specs] == ["dow-jones", "merced", "brownian"]
+
+    def test_paper_lengths(self):
+        by_name = {s.name: s.paper_length for s in list_datasets()}
+        assert by_name == {
+            "dow-jones": 25771,
+            "merced": 65536,
+            "brownian": 1_000_000,
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            dataset_by_name("sp500")
+
+    @pytest.mark.parametrize("loader", [dow_jones, merced, brownian])
+    def test_values_in_paper_domain(self, loader):
+        values = loader(3000)
+        assert len(values) == 3000
+        assert all(isinstance(v, int) for v in values)
+        assert all(0 <= v < DEFAULT_UNIVERSE for v in values)
+
+    @pytest.mark.parametrize("loader", [dow_jones, merced, brownian])
+    def test_deterministic(self, loader):
+        assert loader(500) == loader(500)
+
+    @pytest.mark.parametrize("loader", [dow_jones, merced, brownian])
+    def test_invalid_length(self, loader):
+        with pytest.raises(InvalidParameterError):
+            loader(0)
+
+    def test_loader_via_registry(self):
+        spec = dataset_by_name("brownian")
+        assert spec.loader(100) == brownian(100)
+
+    def test_dow_jones_is_trending(self):
+        """The DJIA proxy must reward PWL buckets: locally smooth trends."""
+        values = dow_jones(4096)
+        from repro.offline.optimal import optimal_error
+        from repro.offline.optimal_pwl import optimal_pwl_error
+
+        serial = optimal_error(values[:512], 8)
+        pwl = optimal_pwl_error(values[:512], 8, tol=1.0)
+        assert pwl < serial  # trends make lines strictly better
+
+    def test_merced_is_bursty(self):
+        """The Merced proxy has flood spikes: heavy right tail."""
+        values = merced(20000)
+        import statistics
+
+        mean = statistics.fmean(values)
+        assert max(values) > 4 * mean

@@ -1,0 +1,91 @@
+"""Tests for the file loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import load_quantized, load_series
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def single_column_file(tmp_path):
+    path = tmp_path / "series.txt"
+    path.write_text("10\n20\n\n30\n")
+    return path
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "prices.csv"
+    path.write_text(
+        "date,close,volume\n"
+        "1900-01-02,68.13,100\n"
+        "1900-01-03,67.21,150\n"
+        "1900-01-04,68.50,90\n"
+    )
+    return path
+
+
+class TestLoadSeries:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_series(tmp_path / "nope.csv")
+
+    def test_single_column(self, single_column_file):
+        assert load_series(single_column_file) == [10.0, 20.0, 30.0]
+
+    def test_named_column(self, csv_file):
+        assert load_series(csv_file, column="close") == [68.13, 67.21, 68.50]
+
+    def test_indexed_column(self, csv_file):
+        values = load_series(csv_file, column=1, skip_rows=1)
+        assert values == [68.13, 67.21, 68.50]
+
+    def test_unknown_column_name(self, csv_file):
+        with pytest.raises(InvalidParameterError) as err:
+            load_series(csv_file, column="open")
+        assert "open" in str(err.value)
+
+    def test_limit(self, csv_file):
+        assert load_series(csv_file, column="close", limit=2) == [68.13, 67.21]
+
+    def test_non_numeric_cell(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\ntwo\n3\n")
+        with pytest.raises(InvalidParameterError) as err:
+            load_series(path)
+        assert "row 2" in str(err.value)
+
+    def test_short_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(InvalidParameterError):
+            load_series(path, column="b")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n\n")
+        with pytest.raises(InvalidParameterError):
+            load_series(path)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "tabs.tsv"
+        path.write_text("1\t9\n2\t8\n")
+        assert load_series(path, column=1, delimiter="\t") == [9.0, 8.0]
+
+
+class TestLoadQuantized:
+    def test_quantizes_to_domain(self, csv_file):
+        values = load_quantized(csv_file, column="close", universe=256)
+        assert all(isinstance(v, int) and 0 <= v < 256 for v in values)
+        # Order of magnitudes preserved: min maps to 0, max to 255.
+        assert min(values) == 0
+        assert max(values) == 255
+
+    def test_end_to_end_with_summarize(self, csv_file):
+        from repro import summarize
+
+        values = load_quantized(csv_file, column="close", universe=1 << 15)
+        hist = summarize(values, 2)
+        assert hist.coverage == 3

@@ -1,0 +1,71 @@
+"""Documentation coverage: every public item carries a docstring.
+
+Deliverable (e) requires doc comments on every public item; this test
+makes the requirement executable so it cannot regress.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+IGNORED_MEMBER_NAMES = {
+    # dataclass-generated or inherited machinery
+    "__init__", "__repr__", "__eq__", "__hash__",
+}
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; documented at home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def test_every_public_module_has_a_docstring():
+    missing = [m.__name__ for m in _public_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for module in _public_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_every_public_method_has_a_docstring():
+    missing = []
+    for module in _public_modules():
+        for cls_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_") or name in IGNORED_MEMBER_NAMES:
+                    continue
+                func = member
+                if isinstance(member, (classmethod, staticmethod)):
+                    func = member.__func__
+                elif isinstance(member, property):
+                    func = member.fget
+                if not callable(func):
+                    continue
+                if not inspect.getdoc(func):
+                    missing.append(f"{module.__name__}.{cls_name}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"

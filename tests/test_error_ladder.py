@@ -1,0 +1,91 @@
+"""Tests for the geometric error ladder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.error_ladder import ErrorLadder
+from repro.exceptions import InvalidParameterError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            ErrorLadder(epsilon, 1024)
+
+    @pytest.mark.parametrize("universe", [0, 1, -5])
+    def test_invalid_universe(self, universe):
+        with pytest.raises(InvalidParameterError):
+            ErrorLadder(0.2, universe)
+
+    def test_exact_levels_prepended_by_default(self):
+        ladder = ErrorLadder(0.2, 1024)
+        assert ladder[0] == 0.0
+        assert ladder[1] == 0.5
+        assert ladder[2] == 1.0
+
+    def test_zero_level_can_be_disabled(self):
+        ladder = ErrorLadder(0.2, 1024, include_zero=False)
+        assert ladder[0] == 1.0
+
+    def test_repr(self):
+        assert "levels=" in repr(ErrorLadder(0.5, 64))
+
+
+class TestLevels:
+    def test_levels_are_geometric(self):
+        ladder = ErrorLadder(0.5, 1 << 10, include_zero=False)
+        for a, b in zip(ladder, list(ladder)[1:]):
+            assert b == pytest.approx(a * 1.5)
+
+    def test_top_level_covers_max_error(self):
+        ladder = ErrorLadder(0.2, 1 << 15)
+        # The worst possible histogram error is (U - 1) / 2.
+        assert ladder[-1] >= ((1 << 15) - 1) / 2.0
+
+    def test_size_matches_theory(self):
+        epsilon, universe = 0.2, 1 << 15
+        ladder = ErrorLadder(epsilon, universe, include_zero=False)
+        expected = ErrorLadder.expected_size(epsilon, universe)
+        # Within one level of the closed-form count.
+        assert abs(len(ladder) - expected) <= 1
+
+    @given(st.floats(0.05, 0.9), st.integers(4, 1 << 20))
+    def test_ladder_is_strictly_increasing(self, epsilon, universe):
+        levels = list(ErrorLadder(epsilon, universe))
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+
+
+class TestCoveringLevel:
+    def test_exact_zero(self):
+        assert ErrorLadder(0.2, 1024).covering_level(0.0) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorLadder(0.2, 1024).covering_level(-1.0)
+
+    @given(st.floats(0.0, 511.0), st.floats(0.05, 0.9))
+    def test_covering_level_within_factor(self, error, epsilon):
+        """Inequality 2: some level e_j has error <= e_j <= (1+eps) error."""
+        ladder = ErrorLadder(epsilon, 1024)
+        level = ladder.covering_level(error)
+        assert level >= error
+        if error >= 1.0:  # below the ladder base the factor doesn't apply
+            assert level <= (1.0 + epsilon) * error * (1 + 1e-12)
+
+    @given(st.integers(0, 1022).map(lambda k: k / 2.0), st.floats(0.05, 0.9))
+    def test_half_integer_errors_always_covered(self, error, epsilon):
+        """On integer streams every achievable error is a half-integer, and
+        the exact 0 / 0.5 levels make the factor hold for all of them."""
+        ladder = ErrorLadder(epsilon, 1024)
+        level = ladder.covering_level(error)
+        assert error <= level <= (1.0 + epsilon) * error * (1 + 1e-12) or (
+            error in (0.0, 0.5) and level == error
+        )
+
+    def test_above_top_saturates(self):
+        ladder = ErrorLadder(0.2, 64)
+        assert ladder.covering_level(10_000.0) == ladder[-1]

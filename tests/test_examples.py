@@ -1,0 +1,87 @@
+"""Every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+
+
+def test_quickstart():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "optimal-32 error" in result.stdout
+
+
+def test_sensor_network_monitoring():
+    result = _run("sensor_network_monitoring.py")
+    assert result.returncode == 0, result.stderr
+    assert "peak summary memory" in result.stdout
+
+
+def test_timeseries_similarity():
+    result = _run("timeseries_similarity.py")
+    assert result.returncode == 0, result.stderr
+    assert "true nearest neighbour" in result.stdout
+
+
+def test_trend_compression_pwl():
+    result = _run("trend_compression_pwl.py")
+    assert result.returncode == 0, result.stderr
+    assert "improvement" in result.stdout
+
+
+def test_fleet_operations():
+    result = _run("fleet_operations.py")
+    assert result.returncode == 0, result.stderr
+    assert "restored plant-a resumed cleanly" in result.stdout
+    assert "reconstruction" in result.stdout
+
+
+def test_in_network_aggregation():
+    result = _run("in_network_aggregation.py")
+    assert result.returncode == 0, result.stderr
+    assert "preserved both the bound and the events" in result.stdout
+
+
+def test_capacity_planning():
+    result = _run("capacity_planning.py")
+    assert result.returncode == 0, result.stderr
+    assert "recommended:" in result.stdout
+
+
+def test_compare_algorithms():
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "compare_algorithms.py"),
+            "brownian",
+            "2048",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "min-merge" in result.stdout
+    assert "rehist" in result.stdout

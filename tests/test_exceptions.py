@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+    ReproError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (InvalidParameterError, DomainError, EmptySummaryError):
+        assert issubclass(exc, ReproError)
+
+
+def test_value_errors_are_value_errors():
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(DomainError, ValueError)
+
+
+def test_empty_summary_is_runtime_error():
+    assert issubclass(EmptySummaryError, RuntimeError)
+
+
+def test_catching_base_class():
+    from repro import MinMergeHistogram
+
+    with pytest.raises(ReproError):
+        MinMergeHistogram(buckets=0)

@@ -1,0 +1,100 @@
+"""Failure injection: malformed inputs must fail loudly, not corrupt state.
+
+The summaries run unattended for millions of items (sensors, stream
+processors); a silent NaN or a duplicate-index bug would quietly poison
+every later answer, so the typed-error surface matters as much as the
+happy path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+    MinIncrementHistogram,
+    MinMergeHistogram,
+    PwlMinIncrementHistogram,
+    RehistHistogram,
+    SlidingWindowMinIncrement,
+    SlidingWindowPwlMinIncrement,
+)
+
+UNIVERSE = 1024
+
+DOMAIN_CHECKED = [
+    lambda: MinIncrementHistogram(buckets=4, epsilon=0.2, universe=UNIVERSE),
+    lambda: PwlMinIncrementHistogram(buckets=4, epsilon=0.2, universe=UNIVERSE),
+    lambda: RehistHistogram(buckets=4, epsilon=0.2, universe=UNIVERSE),
+    lambda: SlidingWindowMinIncrement(
+        buckets=4, epsilon=0.2, universe=UNIVERSE, window=16
+    ),
+    lambda: SlidingWindowPwlMinIncrement(
+        buckets=4, epsilon=0.2, universe=UNIVERSE, window=16
+    ),
+]
+
+
+class TestNanAndInfinity:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    @pytest.mark.parametrize("factory", DOMAIN_CHECKED)
+    def test_non_finite_values_rejected(self, factory, bad):
+        summary = factory()
+        with pytest.raises(DomainError):
+            summary.insert(bad)
+
+    @pytest.mark.parametrize("factory", DOMAIN_CHECKED)
+    def test_state_unchanged_after_rejection(self, factory):
+        summary = factory()
+        summary.insert(5)
+        with pytest.raises(DomainError):
+            summary.insert(math.nan)
+        summary.insert(7)
+        assert summary.items_seen == 2
+
+
+class TestOutOfDomain:
+    @pytest.mark.parametrize("factory", DOMAIN_CHECKED)
+    @pytest.mark.parametrize("bad", [-1, UNIVERSE, UNIVERSE + 10_000])
+    def test_out_of_domain_rejected(self, factory, bad):
+        with pytest.raises(DomainError):
+            factory().insert(bad)
+
+
+class TestEmptyQueries:
+    @pytest.mark.parametrize("factory", DOMAIN_CHECKED)
+    def test_empty_histogram_raises_typed_error(self, factory):
+        summary = factory()
+        with pytest.raises(EmptySummaryError):
+            if isinstance(summary, RehistHistogram):
+                _ = summary.error
+            else:
+                summary.histogram()
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"buckets": -3, "epsilon": 0.2, "universe": UNIVERSE},
+            {"buckets": 4, "epsilon": 0.0, "universe": UNIVERSE},
+            {"buckets": 4, "epsilon": 1.0, "universe": UNIVERSE},
+            {"buckets": 4, "epsilon": 0.2, "universe": 1},
+        ],
+    )
+    def test_min_increment_bad_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            MinIncrementHistogram(**kwargs)
+
+    def test_min_merge_needs_no_universe_but_validates_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            MinMergeHistogram(buckets=0)
+
+    def test_errors_catchable_as_value_error(self):
+        # Library users who don't import our hierarchy still catch these.
+        with pytest.raises(ValueError):
+            MinIncrementHistogram(buckets=4, epsilon=5.0, universe=UNIVERSE)

@@ -1,0 +1,135 @@
+"""Tests for the Chebyshev (vertical width) line fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.convex_hull import StreamingHull
+from repro.geometry.fit import (
+    best_line_fit,
+    vertical_width,
+    vertical_width_naive,
+)
+
+
+def lp_chebyshev_error(points) -> float:
+    """Reference: min t s.t. |y - a x - b| <= t via linear programming."""
+    # Variables: (a, b, t); minimize t.
+    a_ub = []
+    b_ub = []
+    for x, y in points:
+        a_ub.append([x, 1.0, -1.0])   # a x + b - t <= y
+        b_ub.append(y)
+        a_ub.append([-x, -1.0, -1.0])  # -(a x + b) - t <= -y
+        b_ub.append(-y)
+    result = linprog(
+        c=[0.0, 0.0, 1.0],
+        A_ub=np.array(a_ub),
+        b_ub=np.array(b_ub),
+        bounds=[(None, None), (None, None), (0, None)],
+        method="highs",
+    )
+    assert result.success
+    return float(result.fun)
+
+
+def xy_streams(max_size=40, value_range=100):
+    return st.lists(
+        st.integers(-value_range, value_range), min_size=1, max_size=max_size
+    ).map(lambda ys: [(i, y) for i, y in enumerate(ys)])
+
+
+class TestDegenerateInputs:
+    def test_empty_hull_raises(self):
+        with pytest.raises(InvalidParameterError):
+            best_line_fit(StreamingHull())
+        with pytest.raises(InvalidParameterError):
+            vertical_width(StreamingHull())
+
+    def test_single_point_fits_exactly(self):
+        hull = StreamingHull.from_points([(5, 7)])
+        fit = best_line_fit(hull)
+        assert fit.error == 0.0
+        assert fit.value_at(5) == 7.0
+
+    def test_two_points_fit_exactly(self):
+        hull = StreamingHull.from_points([(0, 1), (4, 9)])
+        fit = best_line_fit(hull)
+        assert fit.error == 0.0
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.value_at(0) == pytest.approx(1.0)
+        assert fit.value_at(4) == pytest.approx(9.0)
+
+    def test_collinear_points_fit_exactly(self):
+        hull = StreamingHull.from_points([(i, 3 * i + 2) for i in range(10)])
+        fit = best_line_fit(hull)
+        assert fit.error == pytest.approx(0.0, abs=1e-12)
+        assert fit.slope == pytest.approx(3.0)
+
+    def test_naive_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            vertical_width_naive([])
+
+
+class TestKnownGeometry:
+    def test_symmetric_vee(self):
+        # A "V" shape: best horizontal-ish fit splits the vee.
+        points = [(0, 2), (1, 0), (2, 2)]
+        hull = StreamingHull.from_points(points)
+        assert vertical_width(hull) == pytest.approx(2.0)
+        fit = best_line_fit(hull)
+        assert fit.error == pytest.approx(1.0)
+
+    def test_trend_plus_step(self):
+        # A line with one outlier: error = half the outlier's residual.
+        points = [(i, float(i)) for i in range(10)]
+        points[5] = (5, 9.0)
+        hull = StreamingHull.from_points(points)
+        fit = best_line_fit(hull)
+        assert fit.error == pytest.approx(2.0)
+
+    def test_fit_line_bisects_strip(self):
+        points = [(0, 0), (1, 4), (2, 0), (3, 4)]
+        hull = StreamingHull.from_points(points)
+        fit = best_line_fit(hull)
+        residuals = [y - fit.value_at(x) for x, y in points]
+        assert max(residuals) == pytest.approx(-min(residuals))
+        assert max(residuals) == pytest.approx(fit.error)
+
+
+class TestAgainstReferences:
+    @given(xy_streams())
+    def test_sweep_matches_naive(self, points):
+        hull = StreamingHull.from_points(points)
+        assert vertical_width(hull) == pytest.approx(
+            vertical_width_naive(points), abs=1e-9
+        )
+
+    @given(xy_streams(max_size=25))
+    def test_fit_error_matches_lp(self, points):
+        hull = StreamingHull.from_points(points)
+        fit = best_line_fit(hull)
+        assert fit.error == pytest.approx(lp_chebyshev_error(points), abs=1e-7)
+
+    @given(xy_streams(max_size=30))
+    def test_fit_residuals_bounded_by_error(self, points):
+        hull = StreamingHull.from_points(points)
+        fit = best_line_fit(hull)
+        for x, y in points:
+            assert abs(y - fit.value_at(x)) <= fit.error + 1e-9
+
+    @given(xy_streams(max_size=30))
+    def test_error_monotone_under_extension(self, points):
+        """Adding a point never shrinks the fit error (greedy soundness)."""
+        hull = StreamingHull()
+        previous = 0.0
+        for x, y in points:
+            hull.add(x, y)
+            current = best_line_fit(hull).error
+            assert current >= previous - 1e-12
+            previous = current

@@ -1,0 +1,135 @@
+"""Tests for the Greenwald-Khanna quantile sketch baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gk_quantile import GKQuantileSketch
+from repro.exceptions import EmptySummaryError, InvalidParameterError
+
+
+def true_rank(values: list, answer) -> tuple[int, int]:
+    """(min_rank, max_rank) of ``answer`` in the sorted multiset (1-based)."""
+    sorted_values = sorted(values)
+    lo = 1 + sum(1 for v in sorted_values if v < answer)
+    hi = sum(1 for v in sorted_values if v <= answer)
+    return lo, max(lo, hi)
+
+
+class TestValidation:
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            GKQuantileSketch(0.0)
+        with pytest.raises(InvalidParameterError):
+            GKQuantileSketch(1.0)
+
+    def test_empty_query(self):
+        with pytest.raises(EmptySummaryError):
+            GKQuantileSketch(0.1).quantile(0.5)
+
+    def test_invalid_quantile(self):
+        sketch = GKQuantileSketch(0.1)
+        sketch.insert(1)
+        with pytest.raises(InvalidParameterError):
+            sketch.quantile(1.5)
+
+
+class TestExactSmallCases:
+    def test_single_value(self):
+        sketch = GKQuantileSketch(0.1)
+        sketch.insert(42)
+        assert sketch.quantile(0.0) == 42
+        assert sketch.quantile(0.5) == 42
+        assert sketch.quantile(1.0) == 42
+
+    def test_extremes_are_exact(self):
+        sketch = GKQuantileSketch(0.05)
+        values = [random.Random(1).randint(0, 1000) for _ in range(5000)]
+        sketch.extend(values)
+        assert sketch.quantile(0.0) == min(values)
+        assert sketch.quantile(1.0) == max(values)
+
+
+class TestRankAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.01, 0.05, 0.1])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rank_error_within_bound(self, epsilon, seed):
+        rng = random.Random(seed)
+        values = [rng.randint(0, 100_000) for _ in range(8000)]
+        sketch = GKQuantileSketch(epsilon)
+        sketch.extend(values)
+        sketch.check_invariant()
+        n = len(values)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            answer = sketch.quantile(q)
+            lo, hi = true_rank(values, answer)
+            target = q * n
+            # The answer's true rank interval must come within eps*n of
+            # the target (2x slack for the query-side tolerance).
+            assert lo - 2 * epsilon * n <= target <= hi + 2 * epsilon * n
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=400))
+    def test_invariants_on_arbitrary_streams(self, values):
+        sketch = GKQuantileSketch(0.1)
+        sketch.extend(values)
+        sketch.check_invariant()
+        answer = sketch.quantile(0.5)
+        assert min(values) <= answer <= max(values)
+
+    def test_sorted_and_reversed_streams(self):
+        for stream in (list(range(5000)), list(range(5000, 0, -1))):
+            sketch = GKQuantileSketch(0.05)
+            sketch.extend(stream)
+            sketch.check_invariant()
+            answer = sketch.quantile(0.5)
+            assert abs(answer - 2500) <= 0.11 * 5000
+
+
+class TestSpace:
+    def test_sublinear_space(self):
+        rng = random.Random(3)
+        sketch = GKQuantileSketch(0.05)
+        for _ in range(50_000):
+            sketch.insert(rng.randint(0, 1 << 30))
+        # O(eps^-1 log(eps n)): far below n.
+        assert sketch.entry_count < 2000
+        assert sketch.memory_bytes() == 12 * sketch.entry_count
+
+    def test_space_shrinks_with_coarser_epsilon(self):
+        rng = random.Random(4)
+        values = [rng.randint(0, 10_000) for _ in range(20_000)]
+        fine = GKQuantileSketch(0.01)
+        coarse = GKQuantileSketch(0.1)
+        fine.extend(values)
+        coarse.extend(values)
+        assert coarse.entry_count < fine.entry_count
+
+
+class TestContrastWithHistogram:
+    def test_quantiles_cannot_answer_point_in_time_queries(self):
+        """The complementarity story: GK erases temporal structure."""
+        from repro.core.min_merge import MinMergeHistogram
+        from repro.metrics.errors import linf_error
+
+        # First half low, second half high: time matters.
+        values = [100] * 2000 + [900] * 2000
+        sketch = GKQuantileSketch(0.05)
+        sketch.extend(values)
+        summary = MinMergeHistogram(buckets=8)
+        summary.extend(values)
+
+        # GK nails the distribution...
+        assert sketch.quantile(0.25) == 100
+        assert sketch.quantile(0.75) == 900
+        # ...but its best series "reconstruction" (each index gets the
+        # overall median-ish value) is terrible, while the histogram's
+        # reconstruction is exact.
+        flat = [sketch.quantile(0.5)] * len(values)
+        hist = summary.histogram().reconstruct()
+        assert linf_error(values, hist) == 0.0
+        assert linf_error(values, flat) >= 400.0

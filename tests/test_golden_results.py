@@ -1,0 +1,70 @@
+"""Golden regression tests: exact values on the seeded datasets.
+
+The datasets are seeded with numpy's Generator API (whose bit streams are
+stability-guaranteed across numpy versions), and the core algorithms are
+deterministic, so these exact numbers must never change.  If one does, an
+algorithm's behaviour changed -- intentionally or not -- and the figure
+tables in EXPERIMENTS.md are stale.
+
+(The values were produced by the code itself; what the test pins is
+*stability*, not first-principles correctness -- the property suites do
+that.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.min_merge import MinMergeHistogram
+from repro.data import brownian, dow_jones, merced
+from repro.offline.optimal import optimal_error
+
+N = 2048
+UNIVERSE = 1 << 15
+
+GOLDEN = {
+    # dataset: (first five values, optimal_error(16), min-merge error,
+    #           min-merge bytes, min-increment error, min-increment bytes)
+    "dow-jones": (
+        [18164, 17040, 17001, 17101, 16299],
+        3501.0, 2464.5, 760, 3647.0, 912,
+    ),
+    "merced": (
+        [58, 41, 42, 50, 70],
+        1034.0, 643.5, 760, 1224.0, 1568,
+    ),
+    "brownian": (
+        [31357, 31073, 31278, 31534, 31002],
+        2209.5, 1527.5, 760, 2528.5, 832,
+    ),
+}
+
+LOADERS = {"dow-jones": dow_jones, "merced": merced, "brownian": brownian}
+
+
+@pytest.mark.parametrize("dataset", sorted(GOLDEN))
+class TestGolden:
+    def test_dataset_head(self, dataset):
+        head, *_ = GOLDEN[dataset]
+        assert LOADERS[dataset](N)[:5] == head
+
+    def test_optimal_error(self, dataset):
+        _head, optimal, *_ = GOLDEN[dataset]
+        assert optimal_error(LOADERS[dataset](N), 16) == optimal
+
+    def test_min_merge(self, dataset):
+        _h, _o, mm_error, mm_bytes, *_ = GOLDEN[dataset]
+        summary = MinMergeHistogram(buckets=16)
+        summary.extend(LOADERS[dataset](N))
+        assert summary.error == mm_error
+        assert summary.memory_bytes() == mm_bytes
+
+    def test_min_increment(self, dataset):
+        *_, mi_error, mi_bytes = GOLDEN[dataset]
+        summary = MinIncrementHistogram(
+            buckets=16, epsilon=0.2, universe=UNIVERSE
+        )
+        summary.extend(LOADERS[dataset](N))
+        assert summary.error == mi_error
+        assert summary.memory_bytes() == mi_bytes

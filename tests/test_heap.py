@@ -1,0 +1,178 @@
+"""Unit and property tests for the addressable min-heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.heap import AddressableMinHeap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = AddressableMinHeap()
+        assert len(heap) == 0
+        assert not heap
+        with pytest.raises(IndexError):
+            heap.peek_min()
+        with pytest.raises(IndexError):
+            heap.pop_min()
+
+    def test_push_pop_single(self):
+        heap = AddressableMinHeap()
+        handle = heap.push(5.0, "a")
+        assert handle in heap
+        assert heap.peek_min() == (5.0, "a")
+        assert heap.pop_min() == (5.0, "a")
+        assert handle not in heap
+        assert len(heap) == 0
+
+    def test_pop_order_is_sorted(self):
+        heap = AddressableMinHeap()
+        keys = [7, 1, 9, 3, 3, 0, 12, -4]
+        for k in keys:
+            heap.push(k)
+        popped = [heap.pop_min()[0] for _ in range(len(keys))]
+        assert popped == sorted(keys)
+
+    def test_items_carry_payloads(self):
+        heap = AddressableMinHeap()
+        heap.push(2, "two")
+        heap.push(1, "one")
+        assert heap.pop_min() == (1, "one")
+        assert heap.pop_min() == (2, "two")
+
+    def test_peek_min_handle(self):
+        heap = AddressableMinHeap()
+        heap.push(5, "five")
+        h1 = heap.push(1, "one")
+        assert heap.peek_min_handle() == h1
+
+    def test_key_of_and_item_of(self):
+        heap = AddressableMinHeap()
+        handle = heap.push(4, "payload")
+        heap.push(1)
+        assert heap.key_of(handle) == 4
+        assert heap.item_of(handle) == "payload"
+
+
+class TestAddressableOps:
+    def test_update_decrease_moves_to_top(self):
+        heap = AddressableMinHeap()
+        heap.push(1)
+        handle = heap.push(10, "big")
+        heap.update(handle, 0)
+        assert heap.peek_min() == (0, "big")
+        heap.check_invariant()
+
+    def test_update_increase_moves_down(self):
+        heap = AddressableMinHeap()
+        handle = heap.push(0, "was-min")
+        heap.push(5)
+        heap.update(handle, 10)
+        assert heap.peek_min()[0] == 5
+        heap.check_invariant()
+
+    def test_remove_middle_entry(self):
+        heap = AddressableMinHeap()
+        handles = [heap.push(k) for k in (3, 1, 4, 1, 5, 9, 2, 6)]
+        assert heap.remove(handles[2]) == (4, None)
+        assert handles[2] not in heap
+        popped = [heap.pop_min()[0] for _ in range(len(heap))]
+        assert popped == sorted([3, 1, 1, 5, 9, 2, 6])
+
+    def test_remove_last_slot(self):
+        heap = AddressableMinHeap()
+        heap.push(1)
+        handle = heap.push(99)  # definitely the last heap slot
+        heap.remove(handle)
+        assert len(heap) == 1
+        heap.check_invariant()
+
+    def test_stale_handle_raises(self):
+        heap = AddressableMinHeap()
+        handle = heap.push(1)
+        heap.pop_min()
+        with pytest.raises(KeyError):
+            heap.update(handle, 2)
+        with pytest.raises(KeyError):
+            heap.remove(handle)
+
+    def test_handles_are_unique_across_lifetime(self):
+        heap = AddressableMinHeap()
+        seen = set()
+        for i in range(100):
+            handle = heap.push(i % 7)
+            assert handle not in seen
+            seen.add(handle)
+            if i % 3 == 0:
+                heap.pop_min()
+
+
+class TestRandomizedAgainstReference:
+    def test_mixed_operations_match_reference(self):
+        rng = random.Random(1234)
+        heap = AddressableMinHeap()
+        reference: dict[int, float] = {}  # handle -> key
+        for step in range(3000):
+            op = rng.random()
+            if op < 0.5 or not reference:
+                key = rng.uniform(-100, 100)
+                handle = heap.push(key)
+                reference[handle] = key
+            elif op < 0.7:
+                key, _item = heap.pop_min()
+                expected = min(reference.values())
+                assert key == expected
+                # Remove one matching handle from the reference.
+                for h, k in list(reference.items()):
+                    if k == key and h not in heap:
+                        del reference[h]
+                        break
+            elif op < 0.85:
+                handle = rng.choice(list(reference))
+                new_key = rng.uniform(-100, 100)
+                heap.update(handle, new_key)
+                reference[handle] = new_key
+            else:
+                handle = rng.choice(list(reference))
+                heap.remove(handle)
+                del reference[handle]
+            if step % 100 == 0:
+                heap.check_invariant()
+        assert len(heap) == len(reference)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+def test_heapsort_property(keys):
+    heap = AddressableMinHeap()
+    for k in keys:
+        heap.push(k)
+    heap.check_invariant()
+    out = [heap.pop_min()[0] for _ in range(len(keys))]
+    assert out == sorted(keys)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(-50, 50)),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_interleaved_ops_never_break_invariant(ops):
+    heap = AddressableMinHeap()
+    live: list[int] = []
+    for kind, key in ops:
+        if kind == 0 or not live:
+            live.append(heap.push(key))
+        elif kind == 1:
+            k, _ = heap.pop_min()
+            live = [h for h in live if h in heap]
+        else:
+            handle = live[abs(key) % len(live)]
+            heap.update(handle, key)
+    heap.check_invariant()

@@ -1,0 +1,268 @@
+"""Unit tests for Segment and Histogram result objects."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram, Segment
+from repro.exceptions import InvalidParameterError
+
+
+class TestSegment:
+    def test_constant_segment(self):
+        seg = Segment(0, 4, 3.0, 3.0)
+        assert seg.is_constant
+        assert seg.slope == 0.0
+        assert seg.count == 5
+        assert all(seg.value_at(i) == 3.0 for i in range(5))
+
+    def test_sloped_segment(self):
+        seg = Segment(10, 14, 0.0, 8.0)
+        assert not seg.is_constant
+        assert seg.slope == 2.0
+        assert seg.value_at(10) == 0.0
+        assert seg.value_at(12) == 4.0
+        assert seg.value_at(14) == 8.0
+
+    def test_singleton_segment(self):
+        seg = Segment(3, 3, 7.0, 7.0)
+        assert seg.slope == 0.0
+        assert seg.value_at(3) == 7.0
+
+    def test_empty_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            Segment(5, 4, 0.0, 0.0)
+
+    def test_value_at_outside_raises(self):
+        seg = Segment(0, 2, 0.0, 1.0)
+        with pytest.raises(IndexError):
+            seg.value_at(3)
+
+
+class TestHistogramConstruction:
+    def test_requires_segments(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram([], 0.0)
+
+    def test_requires_contiguity(self):
+        segs = [Segment(0, 2, 1.0, 1.0), Segment(4, 5, 2.0, 2.0)]
+        with pytest.raises(InvalidParameterError):
+            Histogram(segs, 0.0)
+
+    def test_rejects_overlap(self):
+        segs = [Segment(0, 2, 1.0, 1.0), Segment(2, 5, 2.0, 2.0)]
+        with pytest.raises(InvalidParameterError):
+            Histogram(segs, 0.0)
+
+    def test_rejects_negative_error(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram([Segment(0, 1, 0.0, 0.0)], -1.0)
+
+    def test_basic_properties(self):
+        hist = Histogram(
+            [Segment(2, 4, 1.0, 1.0), Segment(5, 9, 0.0, 4.0)], 1.5
+        )
+        assert len(hist) == 2
+        assert hist.beg == 2
+        assert hist.end == 9
+        assert hist.coverage == 8
+        assert hist.error == 1.5
+        assert hist.boundaries() == [4, 9]
+        assert "buckets=2" in repr(hist)
+
+    def test_indexing_and_iteration(self):
+        segs = [Segment(0, 1, 1.0, 1.0), Segment(2, 3, 2.0, 2.0)]
+        hist = Histogram(segs, 0.0)
+        assert hist[0] == segs[0]
+        assert list(hist) == segs
+
+
+class TestValueAtAndReconstruct:
+    def test_value_at_picks_correct_segment(self):
+        hist = Histogram(
+            [
+                Segment(0, 2, 5.0, 5.0),
+                Segment(3, 3, 9.0, 9.0),
+                Segment(4, 7, 0.0, 3.0),
+            ],
+            0.0,
+        )
+        assert hist.value_at(0) == 5.0
+        assert hist.value_at(2) == 5.0
+        assert hist.value_at(3) == 9.0
+        assert hist.value_at(4) == 0.0
+        assert hist.value_at(7) == 3.0
+
+    def test_value_at_outside_raises(self):
+        hist = Histogram([Segment(0, 1, 0.0, 0.0)], 0.0)
+        with pytest.raises(IndexError):
+            hist.value_at(2)
+
+    def test_reconstruct_matches_value_at(self):
+        hist = Histogram(
+            [Segment(0, 2, 1.0, 5.0), Segment(3, 5, 7.0, 7.0)], 0.0
+        )
+        recon = hist.reconstruct()
+        assert len(recon) == hist.coverage
+        for i in range(hist.beg, hist.end + 1):
+            assert recon[i - hist.beg] == pytest.approx(hist.value_at(i))
+
+    def test_reconstruct_nonzero_start(self):
+        hist = Histogram([Segment(10, 12, 2.0, 2.0)], 0.0)
+        assert hist.reconstruct() == [2.0, 2.0, 2.0]
+
+
+class TestSliceAndBounds:
+    @staticmethod
+    def _hist():
+        return Histogram(
+            [
+                Segment(0, 4, 2.0, 2.0),
+                Segment(5, 9, 0.0, 8.0),
+                Segment(10, 12, 1.0, 1.0),
+            ],
+            1.5,
+        )
+
+    def test_segment_at(self):
+        hist = self._hist()
+        assert hist.segment_at(0) == hist[0]
+        assert hist.segment_at(7) == hist[1]
+        assert hist.segment_at(12) == hist[2]
+        with pytest.raises(IndexError):
+            hist.segment_at(13)
+
+    def test_value_bounds_contain_reconstruction(self):
+        hist = self._hist()
+        for i in range(hist.beg, hist.end + 1):
+            low, high = hist.value_bounds(i)
+            assert low <= hist.value_at(i) <= high
+            assert high - low == pytest.approx(2 * hist.error)
+
+    def test_value_bounds_contain_truth_for_real_summary(self):
+        from repro.core.min_merge import MinMergeHistogram
+
+        values = [((i * 37) % 101) for i in range(300)]
+        summary = MinMergeHistogram(buckets=4)
+        summary.extend(values)
+        hist = summary.histogram()
+        for i in range(0, 300, 17):
+            low, high = hist.value_bounds(i)
+            assert low - 1e-9 <= values[i] <= high + 1e-9
+
+    def test_slice_midrange(self):
+        hist = self._hist()
+        sliced = hist.slice(3, 11)
+        assert sliced.beg == 3
+        assert sliced.end == 11
+        # Reconstruction is unchanged over the slice.
+        for i in range(3, 12):
+            assert sliced.value_at(i) == pytest.approx(hist.value_at(i))
+
+    def test_slice_single_index(self):
+        hist = self._hist()
+        sliced = hist.slice(7, 7)
+        assert len(sliced) == 1
+        assert sliced.value_at(7) == pytest.approx(hist.value_at(7))
+
+    def test_slice_clips_sloped_segment(self):
+        hist = self._hist()
+        sliced = hist.slice(6, 8)
+        seg = sliced[0]
+        assert seg.left == pytest.approx(hist.value_at(6))
+        assert seg.right == pytest.approx(hist.value_at(8))
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            self._hist().slice(0, 13)
+        with pytest.raises(InvalidParameterError):
+            self._hist().slice(5, 3)
+
+
+class TestRangeBounds:
+    @staticmethod
+    def _summary_of(values, buckets=4):
+        from repro.core.min_merge import MinMergeHistogram
+
+        summary = MinMergeHistogram(buckets=buckets)
+        summary.extend(values)
+        return summary.histogram()
+
+    @given(
+        st.lists(st.integers(0, 500), min_size=3, max_size=150),
+        st.data(),
+    )
+    def test_range_sum_bounds_contain_truth(self, values, data):
+        hist = self._summary_of(values)
+        beg = data.draw(st.integers(0, len(values) - 1))
+        end = data.draw(st.integers(beg, len(values) - 1))
+        low, high = hist.range_sum_bounds(beg, end)
+        true_sum = sum(values[beg:end + 1])
+        assert low - 1e-6 <= true_sum <= high + 1e-6
+
+    @given(
+        st.lists(st.integers(0, 500), min_size=3, max_size=150),
+        st.data(),
+    )
+    def test_range_max_bounds_contain_truth(self, values, data):
+        hist = self._summary_of(values)
+        beg = data.draw(st.integers(0, len(values) - 1))
+        end = data.draw(st.integers(beg, len(values) - 1))
+        low, high = hist.range_max_bounds(beg, end)
+        true_max = max(values[beg:end + 1])
+        assert low - 1e-9 <= true_max <= high + 1e-9
+
+    def test_range_bounds_validation(self):
+        hist = Histogram([Segment(0, 4, 1.0, 1.0)], 0.0)
+        with pytest.raises(InvalidParameterError):
+            hist.range_sum_bounds(0, 5)
+        with pytest.raises(InvalidParameterError):
+            hist.range_max_bounds(3, 2)
+
+    def test_exact_summary_gives_exact_sum(self):
+        hist = Histogram([Segment(0, 3, 5.0, 5.0)], 0.0)
+        low, high = hist.range_sum_bounds(1, 2)
+        assert low == high == 10.0
+
+    def test_sloped_segment_sum(self):
+        hist = Histogram([Segment(0, 4, 0.0, 8.0)], 0.0)
+        low, high = hist.range_sum_bounds(0, 4)
+        assert low == high == pytest.approx(0 + 2 + 4 + 6 + 8)
+
+    def test_spike_detectable_from_bounds(self):
+        values = [10] * 50 + [500] + [10] * 49
+        hist = self._summary_of(values, buckets=2)
+        low, _high = hist.range_max_bounds(40, 60)
+        # The spike must be provably present: lower bound far above base.
+        assert low > 100
+
+
+class TestMaxErrorAgainst:
+    def test_exact_match_is_zero(self):
+        hist = Histogram([Segment(0, 2, 4.0, 4.0)], 0.0)
+        assert hist.max_error_against([4, 4, 4]) == 0.0
+
+    def test_constant_segment_error(self):
+        hist = Histogram([Segment(0, 2, 4.0, 4.0)], 2.0)
+        assert hist.max_error_against([2, 4, 6]) == 2.0
+
+    def test_sloped_segment_error(self):
+        hist = Histogram([Segment(0, 2, 0.0, 4.0)], 0.0)
+        assert hist.max_error_against([0, 3, 4]) == 1.0
+
+    def test_length_mismatch_raises(self):
+        hist = Histogram([Segment(0, 2, 4.0, 4.0)], 0.0)
+        with pytest.raises(InvalidParameterError):
+            hist.max_error_against([1, 2])
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_measured_error_equals_reported_for_exact_summary(self, values):
+        # A one-bucket midpoint histogram's reported error is exact.
+        lo, hi = min(values), max(values)
+        rep = (lo + hi) / 2.0
+        hist = Histogram(
+            [Segment(0, len(values) - 1, rep, rep)], (hi - lo) / 2.0
+        )
+        assert hist.max_error_against(values) == hist.error

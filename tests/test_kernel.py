@@ -1,0 +1,192 @@
+"""Tests for the directional-kernel approximate hull (property 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.convex_hull import StreamingHull
+from repro.geometry.fit import vertical_width
+from repro.geometry.kernel import (
+    ApproximateHull,
+    directional_kernel,
+    kernel_direction_count,
+)
+from repro.geometry.width import euclidean_width
+
+
+def xy_streams(min_size=1, max_size=120, value_range=500):
+    return st.lists(
+        st.integers(-value_range, value_range),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda ys: [(i, y) for i, y in enumerate(ys)])
+
+
+class TestDirectionCount:
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            kernel_direction_count(0.0)
+        with pytest.raises(InvalidParameterError):
+            kernel_direction_count(1.5)
+
+    def test_scales_as_inverse_sqrt(self):
+        k_coarse = kernel_direction_count(0.4)
+        k_fine = kernel_direction_count(0.01)
+        assert k_fine > k_coarse
+        assert k_fine == pytest.approx(
+            math.pi * math.sqrt(5.0 / 0.01), abs=1.0
+        )
+
+
+class TestDirectionalKernel:
+    def test_small_input_returned_verbatim(self):
+        pts = [(0, 0), (1, 5), (2, -3)]
+        assert directional_kernel(pts, 8) == pts
+
+    def test_output_is_subset(self):
+        rng = random.Random(3)
+        pts = sorted(
+            {(i, rng.randint(-100, 100)) for i in range(200)}
+        )
+        hull = StreamingHull.from_points(pts)
+        kept = directional_kernel(hull.vertices(), 8)
+        assert set(kept) <= set(hull.vertices())
+        assert [p[0] for p in kept] == sorted(p[0] for p in kept)
+
+    def test_extreme_points_retained(self):
+        rng = random.Random(4)
+        pts = [(i, rng.randint(-100, 100)) for i in range(300)]
+        hull = StreamingHull.from_points(pts)
+        kept = set(directional_kernel(hull.vertices(), 6))
+        verts = hull.vertices()
+        assert min(verts, key=lambda p: p[0]) in kept
+        assert max(verts, key=lambda p: p[0]) in kept
+        assert min(verts, key=lambda p: p[1]) in kept
+        assert max(verts, key=lambda p: p[1]) in kept
+
+
+class TestApproximateHull:
+    def test_invalid_compress_factor(self):
+        with pytest.raises(InvalidParameterError):
+            ApproximateHull(0.1, compress_factor=0.5)
+
+    def test_mirrors_streaming_interface(self):
+        hull = ApproximateHull(0.2)
+        assert not hull
+        hull.add(0, 5)
+        assert hull
+        assert hull.point_count == 1
+        assert hull.vertices() == [(0, 5)]
+        hull.undo_last_add()
+        assert not hull
+
+    def test_size_stays_bounded(self):
+        rng = random.Random(5)
+        hull = ApproximateHull(0.2)
+        for i in range(3000):
+            hull.add(i, rng.randint(-10_000, 10_000))
+            hull.maybe_compress()
+        assert hull.stored_entries <= hull._threshold + 2
+
+    def test_compress_reports_activity(self):
+        hull = ApproximateHull(0.5)
+        assert hull.maybe_compress() is False
+        compressed = False
+        # A convex arc keeps every point on the hull, forcing compression
+        # (random data's hull stays tiny and correctly never compresses).
+        for i in range(2000):
+            hull.add(i, i * i)
+            compressed = hull.maybe_compress() or compressed
+        assert compressed
+
+    def test_union_compresses(self):
+        rng = random.Random(7)
+        left = ApproximateHull(0.3)
+        right = ApproximateHull(0.3)
+        for i in range(500):
+            left.add(i, rng.randint(-100, 100))
+            left.maybe_compress()
+        for i in range(500, 1000):
+            right.add(i, rng.randint(-100, 100))
+            right.maybe_compress()
+        merged = left.union(right)
+        assert merged.point_count == 1000
+        assert merged.stored_entries <= merged._threshold + 2
+
+    def test_union_type_check(self):
+        with pytest.raises(InvalidParameterError):
+            from repro.geometry.kernel import _inner_of
+
+            _inner_of([(0, 0)])
+
+
+class TestWidthProperty:
+    """Property (3): (1 - eps) width(h) <= width(kernel) <= width(h)."""
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2, 0.5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_walk_buckets(self, epsilon, seed):
+        rng = random.Random(seed)
+        exact = StreamingHull()
+        approx = ApproximateHull(epsilon)
+        value = 0
+        for i in range(1500):
+            value += rng.randint(-40, 40)
+            exact.add(i, value)
+            approx.add(i, value)
+            approx.maybe_compress()
+        self._check_bounds(exact, approx, epsilon)
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3])
+    def test_thin_diagonal_needle(self, epsilon):
+        # Adversarial for unnormalized kernels: a nearly-degenerate sliver
+        # along a steep diagonal.  The affine normalization must handle it.
+        rng = random.Random(11)
+        exact = StreamingHull()
+        approx = ApproximateHull(epsilon)
+        for i in range(1200):
+            y = 1000 * i + rng.randint(-3, 3)
+            exact.add(i, y)
+            approx.add(i, y)
+            approx.maybe_compress()
+        self._check_bounds(exact, approx, epsilon)
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3])
+    def test_convex_arc(self, epsilon):
+        # Every input point is a hull vertex -- maximum pressure on the cap.
+        exact = StreamingHull()
+        approx = ApproximateHull(epsilon)
+        for i in range(800):
+            y = i * i
+            exact.add(i, y)
+            approx.add(i, y)
+            approx.maybe_compress()
+        self._check_bounds(exact, approx, epsilon)
+
+    @given(xy_streams(min_size=3, max_size=150))
+    def test_hypothesis_streams(self, points):
+        epsilon = 0.2
+        exact = StreamingHull()
+        approx = ApproximateHull(epsilon)
+        for x, y in points:
+            exact.add(x, y)
+            approx.add(x, y)
+            approx.maybe_compress()
+        self._check_bounds(exact, approx, epsilon)
+
+    @staticmethod
+    def _check_bounds(exact, approx, epsilon):
+        true_vw = vertical_width(exact)
+        approx_vw = vertical_width(approx._inner)
+        assert approx_vw <= true_vw + 1e-9
+        assert approx_vw >= (1.0 - epsilon) * true_vw - 1e-9
+        true_ew = euclidean_width(exact.vertices())
+        approx_ew = euclidean_width(approx.vertices())
+        assert approx_ew <= true_ew + 1e-9
+        assert approx_ew >= (1.0 - epsilon) * true_ew - 1e-9

@@ -1,0 +1,103 @@
+"""Unit tests for the doubly-linked bucket list."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.structures.linked_list import BucketList
+
+
+class TestAppend:
+    def test_empty_list(self):
+        lst = BucketList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None
+        assert lst.tail is None
+        assert lst.buckets() == []
+
+    def test_single_append(self):
+        lst = BucketList()
+        node = lst.append("a")
+        assert len(lst) == 1
+        assert lst.head is node
+        assert lst.tail is node
+        assert node.prev is None
+        assert node.next is None
+
+    def test_append_order_preserved(self):
+        lst = BucketList()
+        for item in "abcde":
+            lst.append(item)
+        assert lst.buckets() == list("abcde")
+        assert [n.bucket for n in lst] == list("abcde")
+
+    def test_links_are_consistent(self):
+        lst = BucketList()
+        nodes = [lst.append(i) for i in range(5)]
+        for left, right in zip(nodes, nodes[1:]):
+            assert left.next is right
+            assert right.prev is left
+
+
+class TestRemove:
+    def test_remove_head(self):
+        lst = BucketList()
+        nodes = [lst.append(i) for i in range(3)]
+        lst.remove(nodes[0])
+        assert lst.head is nodes[1]
+        assert nodes[1].prev is None
+        assert lst.buckets() == [1, 2]
+
+    def test_remove_tail(self):
+        lst = BucketList()
+        nodes = [lst.append(i) for i in range(3)]
+        lst.remove(nodes[2])
+        assert lst.tail is nodes[1]
+        assert nodes[1].next is None
+        assert lst.buckets() == [0, 1]
+
+    def test_remove_middle(self):
+        lst = BucketList()
+        nodes = [lst.append(i) for i in range(3)]
+        lst.remove(nodes[1])
+        assert nodes[0].next is nodes[2]
+        assert nodes[2].prev is nodes[0]
+        assert lst.buckets() == [0, 2]
+
+    def test_remove_only_element(self):
+        lst = BucketList()
+        node = lst.append("x")
+        lst.remove(node)
+        assert len(lst) == 0
+        assert lst.head is None and lst.tail is None
+
+    def test_removed_node_is_detached(self):
+        lst = BucketList()
+        lst.append(1)
+        node = lst.append(2)
+        lst.append(3)
+        lst.remove(node)
+        assert node.prev is None and node.next is None
+
+    def test_popleft(self):
+        lst = BucketList()
+        for i in range(3):
+            lst.append(i)
+        assert lst.popleft().bucket == 0
+        assert lst.popleft().bucket == 1
+        assert len(lst) == 1
+
+    def test_popleft_empty_raises(self):
+        with pytest.raises(IndexError):
+            BucketList().popleft()
+
+    def test_interleaved_append_remove(self):
+        lst = BucketList()
+        nodes = {}
+        for i in range(20):
+            nodes[i] = lst.append(i)
+            if i % 3 == 2:
+                lst.remove(nodes[i - 1])
+        expected = [i for i in range(20) if not (i % 3 == 1 and i + 1 < 20)]
+        assert lst.buckets() == expected

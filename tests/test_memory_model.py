@@ -1,0 +1,57 @@
+"""Tests for the explicit memory cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.memory.model import (
+    BYTES_PER_WORD,
+    DEFAULT_MODEL,
+    MemoryModel,
+    MemoryReport,
+)
+
+
+class TestMemoryModel:
+    def test_invalid_word_size(self):
+        with pytest.raises(InvalidParameterError):
+            MemoryModel(0)
+
+    def test_default_word_size_matches_paper(self):
+        assert BYTES_PER_WORD == 4
+        assert DEFAULT_MODEL.words(1) == 4
+
+    def test_structure_costs(self):
+        model = MemoryModel()
+        assert model.buckets(3) == 3 * 4 * 4
+        assert model.heap_entries(5) == 5 * 2 * 4
+        assert model.ladder_entries(7) == 7 * 4
+        assert model.open_buckets(2) == 2 * 3 * 4
+        assert model.hull_vertices(4) == 4 * 2 * 4
+        assert model.pwl_headers(3) == 3 * 2 * 4
+        assert model.breakpoints(2) == 2 * 4 * 4
+        assert model.stack_entries(6) == 6 * 2 * 4
+
+    def test_wider_words_scale_costs(self):
+        wide = MemoryModel(bytes_per_word=8)
+        assert wide.buckets(1) == 2 * DEFAULT_MODEL.buckets(1)
+
+
+class TestMemoryReport:
+    def test_total(self):
+        report = MemoryReport({"buckets": 128, "heap": 64})
+        assert report.total_bytes == 192
+
+    def test_addition_merges_components(self):
+        a = MemoryReport({"buckets": 100})
+        b = MemoryReport({"buckets": 20, "heap": 8})
+        merged = a + b
+        assert merged.components == {"buckets": 120, "heap": 8}
+
+    def test_sum_builtin(self):
+        reports = [MemoryReport({"x": 1}), MemoryReport({"x": 2})]
+        assert sum(reports).components == {"x": 3}
+
+    def test_empty_report(self):
+        assert MemoryReport().total_bytes == 0

@@ -1,0 +1,95 @@
+"""Tests for error metrics and the histogram-based series distance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.min_merge import MinMergeHistogram
+from repro.exceptions import InvalidParameterError
+from repro.metrics.errors import (
+    l2_error,
+    linf_error,
+    mean_absolute_error,
+    series_linf_distance,
+)
+
+
+class TestBasicMetrics:
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            linf_error([1], [1, 2])
+
+    def test_empty_sequences(self):
+        with pytest.raises(InvalidParameterError):
+            linf_error([], [])
+
+    def test_identical_sequences(self):
+        values = [1.0, 2.0, 3.0]
+        assert linf_error(values, values) == 0.0
+        assert l2_error(values, values) == 0.0
+        assert mean_absolute_error(values, values) == 0.0
+
+    def test_known_values(self):
+        a = [0.0, 0.0, 0.0]
+        b = [3.0, -4.0, 0.0]
+        assert linf_error(a, b) == 4.0
+        assert l2_error(a, b) == 5.0
+        assert mean_absolute_error(a, b) == pytest.approx(7.0 / 3.0)
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50)
+    )
+    def test_norm_inequalities(self, values):
+        zeros = [0.0] * len(values)
+        linf = linf_error(values, zeros)
+        l2 = l2_error(values, zeros)
+        mae = mean_absolute_error(values, zeros)
+        assert linf <= l2 + 1e-9
+        assert mae <= linf + 1e-9
+        assert l2 <= math.sqrt(len(values)) * linf + 1e-6
+
+
+class TestSeriesDistance:
+    @staticmethod
+    def _histogram_of(values, buckets=8):
+        summary = MinMergeHistogram(buckets=buckets)
+        summary.extend(values)
+        return summary.histogram()
+
+    def test_range_mismatch_raises(self):
+        first = self._histogram_of([1, 2, 3])
+        second = self._histogram_of([1, 2, 3, 4])
+        with pytest.raises(InvalidParameterError):
+            series_linf_distance(first, second)
+
+    def test_identical_series_bounds_include_zero(self):
+        values = [((i * 17) % 31) for i in range(100)]
+        hist = self._histogram_of(values)
+        low, high = series_linf_distance(hist, hist)
+        assert low == 0.0
+        assert high >= 0.0
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=2, max_size=120),
+        st.lists(st.integers(0, 200), min_size=2, max_size=120),
+    )
+    def test_bounds_contain_true_distance(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        first = self._histogram_of(a, buckets=4)
+        second = self._histogram_of(b, buckets=4)
+        low, high = series_linf_distance(first, second)
+        true = linf_error(a, b)
+        assert low - 1e-9 <= true <= high + 1e-9
+
+    def test_distant_series_have_positive_lower_bound(self):
+        a = [0] * 100
+        b = [1000] * 100
+        low, _high = series_linf_distance(
+            self._histogram_of(a), self._histogram_of(b)
+        )
+        assert low == pytest.approx(1000.0)

@@ -1,0 +1,111 @@
+"""Unit and property tests for the suffix record stacks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.monotone_stack import (
+    SuffixExtremaStack,
+    SuffixWindow,
+    brute_force_suffix_extreme,
+)
+
+
+class TestSuffixExtremaStack:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            SuffixExtremaStack("median")
+
+    def test_single_value(self):
+        stack = SuffixExtremaStack("max")
+        stack.append(5)
+        assert stack.query(0) == 5
+        assert stack.stream_length == 1
+
+    def test_increasing_stream_keeps_one_record(self):
+        stack = SuffixExtremaStack("max")
+        for v in range(10):
+            stack.append(v)
+        # Every prefix's suffix-max is the last value.
+        assert len(stack) == 1
+        assert all(stack.query(s) == 9 for s in range(10))
+
+    def test_decreasing_stream_keeps_all_records(self):
+        stack = SuffixExtremaStack("max")
+        for v in range(10, 0, -1):
+            stack.append(v)
+        assert len(stack) == 10
+        for start in range(10):
+            assert stack.query(start) == 10 - start
+
+    def test_min_mode(self):
+        stack = SuffixExtremaStack("min")
+        for v in [5, 3, 8, 1, 9, 2]:
+            stack.append(v)
+        values = [5, 3, 8, 1, 9, 2]
+        for start in range(len(values)):
+            assert stack.query(start) == min(values[start:])
+
+    def test_query_out_of_range(self):
+        stack = SuffixExtremaStack("max")
+        stack.append(1)
+        with pytest.raises(IndexError):
+            stack.query(1)
+        with pytest.raises(IndexError):
+            stack.query(-1)
+
+    def test_duplicates_collapse(self):
+        stack = SuffixExtremaStack("max")
+        for v in [5, 5, 5]:
+            stack.append(v)
+        assert len(stack) == 1
+        assert stack.query(0) == 5
+
+
+class TestSuffixWindow:
+    def test_interval_error_matches_definition(self):
+        window = SuffixWindow()
+        values = [3, 7, 1, 9, 4]
+        for v in values:
+            window.append(v)
+        for start in range(len(values)):
+            expected = (max(values[start:]) - min(values[start:])) / 2.0
+            assert window.interval_error(start) == expected
+
+    def test_len_counts_both_stacks(self):
+        window = SuffixWindow()
+        for v in [1, 2, 3]:  # increasing: max-stack 1 record, min-stack 3
+            window.append(v)
+        assert len(window) == 4
+        assert window.stream_length == 3
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=300))
+def test_stack_matches_brute_force(values):
+    max_stack = SuffixExtremaStack("max")
+    min_stack = SuffixExtremaStack("min")
+    for v in values:
+        max_stack.append(v)
+        min_stack.append(v)
+    max_stack.check_invariant()
+    min_stack.check_invariant()
+    for start in range(0, len(values), max(1, len(values) // 17)):
+        assert max_stack.query(start) == brute_force_suffix_extreme(
+            values, start, "max"
+        )
+        assert min_stack.query(start) == brute_force_suffix_extreme(
+            values, start, "min"
+        )
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_queries_valid_after_every_append(values):
+    window = SuffixWindow()
+    for i, v in enumerate(values):
+        window.append(v)
+        prefix = values[: i + 1]
+        assert window.suffix_max(0) == max(prefix)
+        assert window.suffix_min(0) == min(prefix)
+        assert window.interval_error(i) == 0.0

@@ -1,0 +1,158 @@
+"""Tests for the exact offline optimal histogram (Theorem 6)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.offline.optimal import (
+    min_buckets_for_error,
+    optimal_error,
+    optimal_error_dp,
+    optimal_histogram,
+)
+
+streams = st.lists(st.integers(0, 100), min_size=1, max_size=60)
+
+
+def brute_force_optimal(values, buckets) -> float:
+    """Try every partition into <= buckets pieces (tiny inputs only)."""
+    n = len(values)
+    buckets = min(buckets, n)
+    best = float("inf")
+    for k in range(1, buckets + 1):
+        for cuts in combinations(range(1, n), k - 1):
+            bounds = [0, *cuts, n]
+            worst = 0.0
+            for lo, hi in zip(bounds, bounds[1:]):
+                chunk = values[lo:hi]
+                worst = max(worst, (max(chunk) - min(chunk)) / 2.0)
+            best = min(best, worst)
+    return best
+
+
+class TestValidation:
+    def test_empty_values(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_error([], 3)
+
+    def test_bad_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_error([1, 2], 0)
+
+    def test_negative_error(self):
+        with pytest.raises(InvalidParameterError):
+            min_buckets_for_error([1, 2], -1.0)
+
+
+class TestMinBuckets:
+    def test_empty_sequence(self):
+        assert min_buckets_for_error([], 1.0) == 0
+
+    def test_zero_error_counts_runs(self):
+        assert min_buckets_for_error([1, 1, 2, 2, 3], 0.0) == 3
+
+    def test_large_error_single_bucket(self):
+        assert min_buckets_for_error([0, 50, 100], 50.0) == 1
+
+    def test_half_integer_threshold(self):
+        # Range 1 -> error 0.5 fits; range 2 -> needs a split at error 0.5.
+        assert min_buckets_for_error([0, 1], 0.5) == 1
+        assert min_buckets_for_error([0, 2], 0.5) == 2
+
+
+class TestOptimalError:
+    def test_more_buckets_than_values(self):
+        assert optimal_error([3, 1, 4], 5) == 0.0
+
+    def test_constant_stream(self):
+        assert optimal_error([7] * 20, 1) == 0.0
+
+    def test_single_bucket_is_half_range(self):
+        assert optimal_error([0, 10, 4], 1) == 5.0
+
+    def test_two_plateaus(self):
+        assert optimal_error([0] * 5 + [10] * 5, 2) == 0.0
+        assert optimal_error([0] * 5 + [10] * 5, 1) == 5.0
+
+    @given(streams, st.integers(1, 5))
+    def test_matches_reference_dp(self, values, buckets):
+        assert optimal_error(values, buckets) == optimal_error_dp(
+            values, buckets
+        )
+
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=12),
+        st.integers(1, 4),
+    )
+    def test_matches_brute_force_partitions(self, values, buckets):
+        assert optimal_error(values, buckets) == brute_force_optimal(
+            values, buckets
+        )
+
+    @given(streams)
+    def test_monotone_in_buckets(self, values):
+        errors = [optimal_error(values, b) for b in range(1, 8)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_float_inputs_use_candidate_search(self):
+        values = [0.0, 1.5, 3.7, 0.2, 9.1, 9.3]
+        result = optimal_error(values, 2)
+        # Exact via brute force over partitions.
+        assert result == pytest.approx(brute_force_optimal(values, 2))
+
+    @given(
+        st.lists(
+            st.floats(0, 100, allow_nan=False, width=32),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(1, 3),
+    )
+    def test_float_path_matches_brute_force(self, values, buckets):
+        assert optimal_error(values, buckets) == pytest.approx(
+            brute_force_optimal(values, buckets), abs=1e-9
+        )
+
+
+class TestOptimalHistogram:
+    @given(streams, st.integers(1, 6))
+    def test_realizes_the_optimal_error(self, values, buckets):
+        hist = optimal_histogram(values, buckets)
+        assert len(hist) <= buckets
+        assert hist.error == optimal_error(values, buckets)
+        assert hist.max_error_against(values) == hist.error
+
+    def test_covers_whole_input(self):
+        hist = optimal_histogram([5, 1, 9, 9, 2], 2)
+        assert hist.beg == 0
+        assert hist.end == 4
+
+    def test_greedy_partition_boundaries(self):
+        hist = optimal_histogram([0, 0, 10, 10], 2)
+        assert [(s.beg, s.end) for s in hist] == [(0, 1), (2, 3)]
+
+
+class TestTheorem6Complexity:
+    def test_probe_count_is_logarithmic(self):
+        """The grid search makes O(log U) greedy passes."""
+        import repro.offline.optimal as mod
+
+        calls = {"n": 0}
+        original = mod.min_buckets_for_error
+
+        def counting(values, error):
+            calls["n"] += 1
+            return original(values, error)
+
+        mod.min_buckets_for_error = counting
+        try:
+            values = [((i * 7919) % 32768) for i in range(2000)]
+            optimal_error(values, 16)
+        finally:
+            mod.min_buckets_for_error = original
+        assert calls["n"] <= 20  # log2(2^15) + slack

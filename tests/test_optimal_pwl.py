@@ -1,0 +1,108 @@
+"""Tests for the offline (near-)optimal PWL histogram."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.offline.optimal import optimal_error
+from repro.offline.optimal_pwl import (
+    min_pwl_buckets_for_error,
+    optimal_pwl_error,
+    optimal_pwl_histogram,
+)
+
+streams = st.lists(st.integers(0, 60), min_size=1, max_size=50)
+
+
+class TestValidation:
+    def test_empty_values(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_pwl_error([], 2)
+
+    def test_bad_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_pwl_error([1], 0)
+
+    def test_bad_tol(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_pwl_error([1, 2], 1, tol=0.0)
+
+    def test_negative_error(self):
+        with pytest.raises(InvalidParameterError):
+            min_pwl_buckets_for_error([1], -1.0)
+
+
+class TestMinBuckets:
+    def test_empty(self):
+        assert min_pwl_buckets_for_error([], 1.0) == 0
+
+    def test_collinear_run_is_one_bucket(self):
+        assert min_pwl_buckets_for_error([2 * i for i in range(30)], 0.0) == 1
+
+    def test_vee_needs_two_buckets_at_zero_error(self):
+        values = [10 - i for i in range(10)] + [i for i in range(10)]
+        assert min_pwl_buckets_for_error(values, 0.0) == 2
+
+    @given(streams)
+    def test_monotone_in_error(self, values):
+        counts = [
+            min_pwl_buckets_for_error(values, e) for e in (0.0, 1.0, 5.0, 30.0)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    @given(streams, st.sampled_from([0.0, 1.0, 3.0]))
+    def test_never_more_than_serial(self, values, error):
+        """A line generalizes a constant, so PWL needs <= serial buckets."""
+        from repro.offline.optimal import min_buckets_for_error
+
+        assert min_pwl_buckets_for_error(values, error) <= (
+            min_buckets_for_error(values, error)
+        )
+
+
+class TestOptimalPwlError:
+    def test_pairs_fit_exactly(self):
+        # ceil(n/2) buckets always reach zero error.
+        assert optimal_pwl_error([5, 9, 1, 7], 2) == 0.0
+
+    def test_constant_stream(self):
+        assert optimal_pwl_error([4] * 30, 1) == 0.0
+
+    def test_linear_stream(self):
+        assert optimal_pwl_error(list(range(50)), 1) == 0.0
+
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 4))
+    def test_result_is_achievable_and_near_optimal(self, values, buckets):
+        tol = 1e-3
+        error = optimal_pwl_error(values, buckets, tol=tol)
+        # Achievable: the greedy partition at this error fits the budget.
+        assert min_pwl_buckets_for_error(values, error + 1e-9) <= buckets
+        # Near-optimal: a meaningfully smaller error needs more buckets.
+        if error > 2 * tol:
+            assert min_pwl_buckets_for_error(values, error - 2 * tol) >= buckets
+
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 4))
+    def test_at_most_serial_optimum(self, values, buckets):
+        pwl = optimal_pwl_error(values, buckets, tol=1e-4)
+        serial = optimal_error(values, buckets)
+        assert pwl <= serial + 1e-3
+
+
+class TestOptimalPwlHistogram:
+    @settings(max_examples=20)
+    @given(streams, st.integers(1, 4))
+    def test_histogram_is_feasible(self, values, buckets):
+        hist = optimal_pwl_histogram(values, buckets, tol=1e-4)
+        assert len(hist) <= max(buckets, 1)
+        measured = hist.max_error_against(values)
+        assert measured <= hist.error + 1e-9
+
+    def test_linear_histogram_single_segment(self):
+        hist = optimal_pwl_histogram([3 * i for i in range(40)], 1)
+        assert len(hist) == 1
+        assert hist[0].slope == pytest.approx(3.0)

@@ -1,0 +1,65 @@
+"""Tests for the planar point primitives (exactness included)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import cross, orientation
+
+
+class TestCross:
+    def test_left_turn_positive(self):
+        assert cross((0, 0), (1, 0), (1, 1)) > 0
+
+    def test_right_turn_negative(self):
+        assert cross((0, 0), (1, 0), (1, -1)) < 0
+
+    def test_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_exact_for_huge_integers(self):
+        # Python ints are arbitrary precision: the predicate stays exact
+        # far beyond float mantissas (where a C implementation would lie).
+        big = 10 ** 20
+        assert cross((0, 0), (big, 1), (2 * big, 2)) == 0
+        assert cross((0, 0), (big, 1), (2 * big, 3)) == big
+        assert cross((0, 0), (big, 1), (2 * big, 1)) == -big
+
+    @given(
+        st.tuples(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9)),
+        st.tuples(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9)),
+        st.tuples(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9)),
+    )
+    def test_antisymmetry(self, o, a, b):
+        assert cross(o, a, b) == -cross(o, b, a)
+
+
+class TestOrientation:
+    def test_signs(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1
+        assert orientation((0, 0), (1, 0), (1, -1)) == -1
+        assert orientation((0, 0), (1, 0), (2, 0)) == 0
+
+    @given(
+        st.tuples(st.integers(-1000, 1000), st.integers(-1000, 1000)),
+        st.tuples(st.integers(-1000, 1000), st.integers(-1000, 1000)),
+        st.tuples(st.integers(-1000, 1000), st.integers(-1000, 1000)),
+    )
+    def test_matches_cross_sign(self, o, a, b):
+        c = cross(o, a, b)
+        expected = 1 if c > 0 else (-1 if c < 0 else 0)
+        assert orientation(o, a, b) == expected
+
+
+class TestHullWithHugeCoordinates:
+    def test_streaming_hull_exact_at_extreme_scale(self):
+        from repro.geometry.convex_hull import StreamingHull, convex_hull
+
+        big = 10 ** 18
+        points = [(i, (i * big) + (1 if i == 2 else 0)) for i in range(5)]
+        hull = StreamingHull.from_points(points)
+        hull.check_invariant()
+        # Only the bump at x=2 joins the endpoints on the upper chain.
+        assert sorted(hull.vertices()) == sorted(convex_hull(points))
+        assert (2, 2 * big + 1) in hull.vertices()

@@ -1,0 +1,145 @@
+"""Tests for PWL buckets and their closed (segment-only) form."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pwl_bucket import ClosedPwlBucket, PwlBucket
+from repro.exceptions import InvalidParameterError
+
+
+class TestBasics:
+    def test_singleton(self):
+        bucket = PwlBucket(5, 10.0)
+        assert (bucket.beg, bucket.end) == (5, 5)
+        assert bucket.count == 1
+        assert bucket.error == 0.0
+
+    def test_two_points_fit_exactly(self):
+        bucket = PwlBucket(0, 0.0)
+        bucket.add(10.0)
+        assert bucket.error == 0.0
+        seg = bucket.segment()
+        assert seg.value_at(0) == pytest.approx(0.0)
+        assert seg.value_at(1) == pytest.approx(10.0)
+
+    def test_linear_run_fits_exactly(self):
+        bucket = PwlBucket(0, 0)
+        for i in range(1, 20):
+            bucket.add(3 * i)
+        assert bucket.error == pytest.approx(0.0, abs=1e-12)
+        assert bucket.segment().slope == pytest.approx(3.0)
+
+    def test_error_cached_and_invalidated(self):
+        bucket = PwlBucket(0, 0)
+        bucket.add(0)
+        assert bucket.error == 0.0
+        bucket.add(10)  # (2, 10) breaks the flat line
+        assert bucket.error > 0.0
+
+    def test_repr(self):
+        assert "PwlBucket" in repr(PwlBucket(0, 1))
+
+
+class TestTryAdd:
+    def test_accepts_within_budget(self):
+        bucket = PwlBucket(0, 0)
+        assert bucket.try_add(100, max_error=50.0) is True
+        assert bucket.end == 1
+
+    def test_rejects_and_rolls_back(self):
+        bucket = PwlBucket(0, 0)
+        bucket.add(0)
+        bucket.add(0)
+        before = (bucket.beg, bucket.end, bucket.error)
+        assert bucket.try_add(1000, max_error=1.0) is False
+        assert (bucket.beg, bucket.end, bucket.error) == before
+        # The bucket remains usable after a rollback.
+        assert bucket.try_add(1, max_error=1.0) is True
+
+    @given(st.lists(st.integers(-100, 100), min_size=2, max_size=60))
+    def test_try_add_respects_budget_exactly(self, values):
+        budget = 5.0
+        bucket = PwlBucket(0, values[0])
+        for v in values[1:]:
+            accepted = bucket.try_add(v, budget)
+            assert bucket.error <= budget + 1e-9
+            if not accepted:
+                break
+
+
+class TestMerge:
+    def test_merged_range_and_error(self):
+        left = PwlBucket(0, 0)
+        left.add(1)
+        right = PwlBucket(2, 2)
+        right.add(3)
+        merged = left.merged_with(right)
+        assert (merged.beg, merged.end) == (0, 3)
+        # All four points are collinear: zero error.
+        assert merged.error == pytest.approx(0.0, abs=1e-12)
+
+    def test_merge_error_without_mutation(self):
+        left = PwlBucket(0, 0)
+        right = PwlBucket(1, 100)
+        err = left.merge_error_with(right)
+        assert err == pytest.approx(0.0, abs=1e-12)  # two points: exact line
+        assert left.end == 0 and right.end == 1
+
+    def test_non_adjacent_raises(self):
+        with pytest.raises(InvalidParameterError):
+            PwlBucket(0, 0).merged_with(PwlBucket(5, 0))
+
+    @given(
+        st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+        st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+    )
+    def test_merge_error_at_least_parts(self, left_vals, right_vals):
+        left = PwlBucket(0, left_vals[0])
+        for v in left_vals[1:]:
+            left.add(v)
+        right = PwlBucket(len(left_vals), right_vals[0])
+        for v in right_vals[1:]:
+            right.add(v)
+        merged_error = left.merge_error_with(right)
+        assert merged_error >= left.error - 1e-9
+        assert merged_error >= right.error - 1e-9
+
+
+class TestApproximateHullMode:
+    def test_capped_bucket_tracks_exact_error(self):
+        import random
+
+        rng = random.Random(2)
+        exact = PwlBucket(0, 0)
+        capped = PwlBucket(0, 0, hull_epsilon=0.1)
+        value = 0
+        for i in range(1, 1200):
+            value += rng.randint(-20, 20)
+            exact.add(value)
+            capped.add(value)
+        assert capped.error <= exact.error + 1e-9
+        assert capped.error >= 0.9 * exact.error - 1e-9
+
+    def test_capped_memory_smaller_on_convex_data(self):
+        exact = PwlBucket(0, 0)
+        capped = PwlBucket(0, 0, hull_epsilon=0.2)
+        for i in range(1, 800):
+            exact.add(i * i)
+            capped.add(i * i)
+        assert capped.memory_bytes() < exact.memory_bytes()
+
+
+class TestClosedPwlBucket:
+    def test_from_bucket_freezes_fit(self):
+        bucket = PwlBucket(0, 0)
+        for i in range(1, 10):
+            bucket.add(2 * i)
+        closed = ClosedPwlBucket.from_bucket(bucket)
+        assert (closed.beg, closed.end) == (0, 9)
+        assert closed.error == pytest.approx(bucket.error)
+        seg = closed.segment()
+        assert seg.value_at(0) == pytest.approx(0.0)
+        assert seg.value_at(9) == pytest.approx(18.0)

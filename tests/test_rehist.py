@@ -1,0 +1,219 @@
+"""Tests for the REHIST comparator (approximate streaming DP)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rehist import RehistHistogram, _BreakpointList
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
+from repro.offline.optimal import optimal_error
+
+UNIVERSE = 512
+streams = st.lists(st.integers(0, UNIVERSE - 1), min_size=1, max_size=150)
+
+
+class TestConstruction:
+    def test_invalid_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            RehistHistogram(buckets=0, epsilon=0.2, universe=UNIVERSE)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            RehistHistogram(buckets=4, epsilon=0.0, universe=UNIVERSE)
+
+    def test_invalid_universe(self):
+        with pytest.raises(InvalidParameterError):
+            RehistHistogram(buckets=4, epsilon=0.2, universe=1)
+
+    def test_delta_is_eps_over_2b(self):
+        rehist = RehistHistogram(buckets=10, epsilon=0.2, universe=UNIVERSE)
+        assert rehist.delta == pytest.approx(0.01)
+
+    def test_delta_override(self):
+        rehist = RehistHistogram(
+            buckets=10, epsilon=0.2, universe=UNIVERSE, delta=0.05
+        )
+        assert rehist.delta == 0.05
+        with pytest.raises(InvalidParameterError):
+            RehistHistogram(
+                buckets=10, epsilon=0.2, universe=UNIVERSE, delta=0.0
+            )
+
+    def test_coarser_delta_uses_less_memory(self):
+        stream = [(i * 31) % UNIVERSE for i in range(1500)]
+        tight = RehistHistogram(buckets=8, epsilon=0.2, universe=UNIVERSE)
+        coarse = RehistHistogram(
+            buckets=8, epsilon=0.2, universe=UNIVERSE, delta=0.2
+        )
+        tight.extend(stream)
+        coarse.extend(stream)
+        assert coarse.memory_bytes() < tight.memory_bytes()
+        # Both still upper-bound the true optimum.
+        from repro.offline.optimal import optimal_error
+
+        best = optimal_error(stream, 8)
+        assert tight.error >= best - 1e-9
+        assert coarse.error >= best - 1e-9
+
+    def test_empty_raises(self):
+        rehist = RehistHistogram(buckets=4, epsilon=0.2, universe=UNIVERSE)
+        with pytest.raises(EmptySummaryError):
+            _ = rehist.error
+        with pytest.raises(EmptySummaryError):
+            rehist.histogram([])
+
+    def test_domain_check(self):
+        rehist = RehistHistogram(buckets=4, epsilon=0.2, universe=UNIVERSE)
+        with pytest.raises(DomainError):
+            rehist.insert(UNIVERSE)
+
+
+class TestBreakpointList:
+    def test_same_class_replaces_tail(self):
+        bp = _BreakpointList(delta=0.1)
+        bp.record(1, 10.0)
+        bp.record(2, 10.5)  # within 10 * 1.1
+        assert len(bp) == 1
+        assert bp.positions == [2]
+        assert bp.values == [10.5]
+
+    def test_new_class_appends(self):
+        bp = _BreakpointList(delta=0.1)
+        bp.record(1, 10.0)
+        bp.record(2, 12.0)
+        assert len(bp) == 2
+
+    def test_zero_class_is_exact(self):
+        bp = _BreakpointList(delta=0.1)
+        bp.record(1, 0.0)
+        bp.record(2, 0.0)
+        assert len(bp) == 1
+        bp.record(3, 0.5)
+        assert len(bp) == 2
+
+    def test_values_clamped_monotone(self):
+        bp = _BreakpointList(delta=0.1)
+        bp.record(1, 10.0)
+        bp.record(2, 9.0)  # approximation jitter; clamp up
+        assert bp.values[-1] == 10.0
+
+    def test_anchor_prevents_ratchet_drift(self):
+        bp = _BreakpointList(delta=0.1)
+        bp.record(1, 10.0)
+        # Many small steps, each within (1 + delta) of its predecessor but
+        # compounding: the anchored class must split once past 11.
+        for i, value in enumerate([10.5, 10.9, 11.5], start=2):
+            bp.record(i, value)
+        assert len(bp) == 2
+
+
+class TestGuarantee:
+    @given(streams, st.integers(1, 8))
+    def test_error_brackets_optimal(self, values, buckets):
+        """opt <= REHIST error <= (1 + eps) * opt."""
+        epsilon = 0.2
+        rehist = RehistHistogram(
+            buckets=buckets, epsilon=epsilon, universe=UNIVERSE
+        )
+        rehist.extend(values)
+        best = optimal_error(values, buckets)
+        assert rehist.error >= best - 1e-9
+        assert rehist.error <= (1.0 + epsilon) * best + 1e-9
+
+    @settings(max_examples=20)
+    @given(streams)
+    def test_error_monotone_over_stream(self, values):
+        rehist = RehistHistogram(buckets=3, epsilon=0.2, universe=UNIVERSE)
+        previous = 0.0
+        for v in values:
+            rehist.insert(v)
+            assert rehist.error >= previous - 1e-12
+            previous = rehist.error
+
+    def test_single_bucket_equals_global_range(self):
+        rehist = RehistHistogram(buckets=1, epsilon=0.2, universe=UNIVERSE)
+        rehist.extend([5, 100, 40])
+        assert rehist.error == (100 - 5) / 2.0
+
+    def test_fewer_items_than_buckets_is_exact_zero(self):
+        rehist = RehistHistogram(buckets=8, epsilon=0.2, universe=UNIVERSE)
+        rehist.extend([3, 99, 7])
+        assert rehist.error == 0.0
+
+
+class TestHistogramMaterialization:
+    @given(streams, st.integers(1, 6))
+    def test_histogram_respects_budget_and_error(self, values, buckets):
+        rehist = RehistHistogram(
+            buckets=buckets, epsilon=0.2, universe=UNIVERSE
+        )
+        rehist.extend(values)
+        hist = rehist.histogram(values)
+        assert len(hist) <= buckets
+        assert hist.max_error_against(values) <= rehist.error + 1e-9
+
+    def test_wrong_length_rejected(self):
+        rehist = RehistHistogram(buckets=2, epsilon=0.2, universe=UNIVERSE)
+        rehist.extend([1, 2, 3])
+        with pytest.raises(InvalidParameterError):
+            rehist.histogram([1, 2])
+
+
+class TestMemoryProfile:
+    def test_memory_grows_superlinearly_in_buckets(self):
+        """The Theta(B^2) driver the paper's Figure 5 exhibits.
+
+        Two factors multiply: the level count (B - 1) and the per-level
+        class count (delta = eps / 2B refines with B).  At small test
+        sizes the second factor is partly saturated by the realized value
+        range, so we assert clear super-linearity rather than a clean 4x.
+        """
+        import random
+
+        universe = 1 << 15
+        walk = random.Random(13)
+        value, stream = universe // 2, []
+        for _ in range(3000):
+            value = min(universe - 1, max(0, value + walk.randint(-200, 200)))
+            stream.append(value)
+        memories = []
+        breakpoints = []
+        for buckets in (4, 16):
+            rehist = RehistHistogram(
+                buckets=buckets, epsilon=0.2, universe=universe
+            )
+            rehist.extend(stream)
+            memories.append(rehist.memory_bytes())
+            breakpoints.append(rehist.breakpoint_count())
+        # 4x the buckets: memory more than 4x, breakpoints more than 5x
+        # (level count alone grows (16-1)/(4-1) = 5x; classes refine on top).
+        assert memories[1] > 4.0 * memories[0]
+        assert breakpoints[1] > 5.0 * breakpoints[0]
+
+    def test_memory_much_larger_than_min_merge(self):
+        from repro.core.min_merge import MinMergeHistogram
+
+        import random
+
+        walk = random.Random(14)
+        value, stream = UNIVERSE // 2, []
+        for _ in range(2000):
+            value = min(UNIVERSE - 1, max(0, value + walk.randint(-6, 6)))
+            stream.append(value)
+        rehist = RehistHistogram(buckets=16, epsilon=0.2, universe=UNIVERSE)
+        rehist.extend(stream)
+        mm = MinMergeHistogram(buckets=16)
+        mm.extend(stream)
+        assert rehist.memory_bytes() > 10 * mm.memory_bytes()
+
+    def test_breakpoint_count_accounted(self):
+        rehist = RehistHistogram(buckets=4, epsilon=0.2, universe=UNIVERSE)
+        rehist.extend([(i * 31) % UNIVERSE for i in range(200)])
+        assert rehist.breakpoint_count() > 0
+        assert rehist.memory_bytes() >= 16 * rehist.breakpoint_count()

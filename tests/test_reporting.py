@@ -1,0 +1,57 @@
+"""Tests for plain-text series rendering."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentSeries
+from repro.harness.reporting import render_series
+
+
+def _series() -> ExperimentSeries:
+    return ExperimentSeries(
+        name="demo",
+        title="Demo series",
+        x="buckets",
+        columns=["buckets", "alpha", "beta"],
+        rows=[
+            {"buckets": 16, "alpha": 123.456, "beta": 1_000_000},
+            {"buckets": 32, "alpha": 0.00123, "beta": None},
+        ],
+    )
+
+
+class TestRenderSeries:
+    def test_title_and_header_present(self):
+        text = render_series(_series())
+        assert "Demo series" in text
+        assert "buckets" in text
+        assert "alpha" in text
+
+    def test_none_renders_as_dash(self):
+        lines = render_series(_series()).splitlines()
+        assert lines[-1].endswith("-")
+
+    def test_thousands_separators(self):
+        assert "1,000,000" in render_series(_series())
+
+    def test_small_floats_keep_precision(self):
+        assert "0.00123" in render_series(_series())
+
+    def test_multiple_series_blocks(self):
+        text = render_series([_series(), _series()])
+        assert text.count("Demo series") == 2
+
+    def test_columns_aligned(self):
+        lines = render_series(_series()).splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_empty_rows_render_header_only(self):
+        series = ExperimentSeries(
+            name="empty", title="Empty", x="x", columns=["x"], rows=[]
+        )
+        text = render_series(series)
+        assert "Empty" in text
+
+    def test_column_accessor(self):
+        series = _series()
+        assert series.column("buckets") == [16, 32]

@@ -1,0 +1,61 @@
+"""Tests for the harness runner and the algorithm factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.sliding_window import SlidingWindowMinIncrement
+from repro.exceptions import InvalidParameterError
+from repro.harness.runner import ALGORITHM_NAMES, make_algorithm, run_stream
+
+
+class TestMakeAlgorithm:
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_every_registry_name_constructs(self, name):
+        algo = make_algorithm(name, buckets=4, window=16)
+        assert algo is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_algorithm("quantile-sketch", buckets=4)
+
+    def test_sliding_window_requires_window(self):
+        with pytest.raises(InvalidParameterError):
+            make_algorithm("sliding-window", buckets=4)
+
+    def test_sliding_window_passes_window(self):
+        algo = make_algorithm("sliding-window", buckets=4, window=37)
+        assert isinstance(algo, SlidingWindowMinIncrement)
+        assert algo.window == 37
+
+
+class TestRunStream:
+    def test_measures_min_merge(self):
+        values = [((i * 7) % 100) for i in range(500)]
+        result = run_stream(MinMergeHistogram(buckets=8), values)
+        assert result.items == 500
+        assert result.seconds >= 0.0
+        assert result.buckets <= 16
+        assert result.memory_bytes > 0
+        assert result.algorithm == "MinMergeHistogram"
+        assert result.items_per_second > 0
+
+    def test_custom_label(self):
+        result = run_stream(MinMergeHistogram(buckets=2), [1, 2], name="mm")
+        assert result.algorithm == "mm"
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_runs_every_algorithm(self, name):
+        values = [((i * 13) % 256) for i in range(300)]
+        algo = make_algorithm(name, buckets=4, universe=256, window=64)
+        result = run_stream(algo, values, name=name)
+        assert result.items == 300
+        assert result.error >= 0.0
+        assert result.buckets is not None
+
+    def test_rehist_bucket_count_via_values(self):
+        values = [((i * 31) % 256) for i in range(200)]
+        algo = make_algorithm("rehist", buckets=4, universe=256)
+        result = run_stream(algo, values)
+        assert result.buckets <= 4

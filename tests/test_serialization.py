@@ -1,0 +1,77 @@
+"""Tests for the histogram wire format (to_dict / to_json round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram, Segment
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.exceptions import InvalidParameterError
+
+
+class TestDictRoundTrip:
+    def test_simple_round_trip(self):
+        hist = Histogram(
+            [Segment(0, 4, 1.0, 1.0), Segment(5, 9, 2.0, 6.0)], 1.5
+        )
+        rebuilt = Histogram.from_dict(hist.to_dict())
+        assert rebuilt.segments == hist.segments
+        assert rebuilt.error == hist.error
+
+    def test_malformed_payloads(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram.from_dict({})
+        with pytest.raises(InvalidParameterError):
+            Histogram.from_dict({"error": 0.0, "segments": [[0, 1]]})
+        with pytest.raises(InvalidParameterError):
+            Histogram.from_dict({"error": 0.0, "segments": "oops"})
+
+    def test_invalid_segments_still_validated(self):
+        payload = {"error": 0.0, "segments": [[5, 4, 0.0, 0.0]]}
+        with pytest.raises(InvalidParameterError):
+            Histogram.from_dict(payload)
+
+    def test_gap_rejected_on_rebuild(self):
+        payload = {
+            "error": 0.0,
+            "segments": [[0, 1, 0.0, 0.0], [3, 4, 0.0, 0.0]],
+        }
+        with pytest.raises(InvalidParameterError):
+            Histogram.from_dict(payload)
+
+
+class TestJsonRoundTrip:
+    def test_json_round_trip(self):
+        hist = Histogram([Segment(2, 7, 3.5, 9.0)], 2.25)
+        rebuilt = Histogram.from_json(hist.to_json())
+        assert rebuilt.segments == hist.segments
+        assert rebuilt.error == hist.error
+
+    def test_json_is_compact(self):
+        hist = Histogram([Segment(0, 1, 0.0, 0.0)], 0.0)
+        assert " " not in hist.to_json()
+
+    def test_invalid_json(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram.from_json("{not json")
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_summary_histogram_survives_the_wire(self, values):
+        summary = MinMergeHistogram(buckets=4)
+        summary.extend(values)
+        hist = summary.histogram()
+        rebuilt = Histogram.from_json(hist.to_json())
+        assert rebuilt.max_error_against(values) == hist.max_error_against(
+            values
+        )
+
+    def test_pwl_histogram_survives_the_wire(self):
+        summary = PwlMinMergeHistogram(buckets=4, hull_epsilon=None)
+        values = [((i * 13) % 97) for i in range(200)]
+        summary.extend(values)
+        hist = summary.histogram()
+        rebuilt = Histogram.from_json(hist.to_json())
+        assert rebuilt.reconstruct() == pytest.approx(hist.reconstruct())

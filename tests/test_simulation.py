@@ -1,0 +1,190 @@
+"""Tests for the sensor-network deployment simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.network import (
+    BYTES_PER_READING,
+    AggregationTree,
+)
+from repro.simulation.scenario import SensorNetworkSimulation
+
+
+class TestTreeTopology:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AggregationTree(0)
+        with pytest.raises(InvalidParameterError):
+            AggregationTree(4, branching=1)
+
+    def test_single_leaf_is_root(self):
+        tree = AggregationTree(1)
+        assert tree.leaf_ids == [0]
+        assert tree.root_id == 0
+        assert tree.hops_to_root(0) == 0
+
+    def test_binary_tree_of_eight(self):
+        tree = AggregationTree(8, branching=2)
+        assert tree.leaf_ids == list(range(8))
+        # 8 leaves + 4 + 2 + 1 = 15 motes.
+        assert len(tree.motes) == 15
+        assert all(tree.hops_to_root(leaf) == 3 for leaf in tree.leaf_ids)
+
+    def test_every_mote_reaches_root(self):
+        tree = AggregationTree(13, branching=3)
+        for node_id in tree.motes:
+            assert tree.hops_to_root(node_id) >= 0
+
+    def test_children_bookkeeping(self):
+        tree = AggregationTree(4, branching=2)
+        root = tree.motes[tree.root_id]
+        assert not root.is_leaf
+        covered = set()
+        stack = [tree.root_id]
+        while stack:
+            node = tree.motes[stack.pop()]
+            if node.is_leaf:
+                covered.add(node.node_id)
+            stack.extend(node.children)
+        assert covered == set(tree.leaf_ids)
+
+    @given(st.integers(1, 40), st.integers(2, 5))
+    def test_arbitrary_shapes_are_consistent(self, leaves, branching):
+        tree = AggregationTree(leaves, branching=branching)
+        assert len(tree.leaf_ids) == leaves
+        for leaf in tree.leaf_ids:
+            # Depth is logarithmic-ish; definitely below leaf count.
+            assert tree.hops_to_root(leaf) <= leaves
+
+
+class TestRadioAccounting:
+    def test_transmit_charges_every_hop(self):
+        tree = AggregationTree(8, branching=2)
+        leaf = tree.leaf_ids[0]
+        total = tree.transmit(leaf, 100)
+        assert total == 100 * tree.hops_to_root(leaf)
+        assert tree.total_bytes_sent() == total
+
+    def test_root_transmit_is_free(self):
+        tree = AggregationTree(4)
+        assert tree.transmit(tree.root_id, 999) == 0
+
+    def test_unknown_mote(self):
+        tree = AggregationTree(2)
+        with pytest.raises(InvalidParameterError):
+            tree.transmit(1234, 1)
+        with pytest.raises(InvalidParameterError):
+            tree.hops_to_root(1234)
+
+    def test_negative_payload(self):
+        tree = AggregationTree(2)
+        with pytest.raises(InvalidParameterError):
+            tree.transmit(0, -1)
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SensorNetworkSimulation(epochs=0)
+        with pytest.raises(InvalidParameterError):
+            SensorNetworkSimulation(readings_per_epoch=0)
+
+    @settings(deadline=None)
+    @given(
+        st.integers(2, 6),   # leaves
+        st.integers(1, 3),   # epochs
+        st.integers(2, 8),   # buckets
+    )
+    def test_guarantee_survives_arbitrary_deployments(
+        self, leaves, epochs, buckets
+    ):
+        report = SensorNetworkSimulation(
+            leaves=leaves,
+            buckets=buckets,
+            epochs=epochs,
+            readings_per_epoch=120,
+        ).run()
+        assert report.guarantee_held
+        assert report.leaves == leaves
+
+    def test_mote_memory_is_o_of_b(self):
+        report = SensorNetworkSimulation(
+            leaves=4, buckets=16, epochs=2, readings_per_epoch=2000
+        ).run()
+        # 2B buckets x 16 B + heap keys; far below the 8 KB raw epoch.
+        assert report.peak_mote_memory_bytes < 1024
+        assert report.peak_mote_memory_bytes < (
+            report.readings_per_epoch * BYTES_PER_READING
+        )
+
+    def test_radio_savings_grow_with_epoch_length(self):
+        short = SensorNetworkSimulation(
+            leaves=4, buckets=16, epochs=2, readings_per_epoch=256
+        ).run()
+        long = SensorNetworkSimulation(
+            leaves=4, buckets=16, epochs=2, readings_per_epoch=4096
+        ).run()
+        assert long.radio_savings > short.radio_savings
+        assert long.radio_savings > 10.0
+
+    def test_raw_bytes_accounting(self):
+        report = SensorNetworkSimulation(
+            leaves=2, buckets=4, epochs=2, readings_per_epoch=100
+        ).run()
+        # 2 leaves x 2 epochs x 100 readings x 4 bytes x 1 hop each.
+        assert report.raw_radio_bytes == 2 * 2 * 100 * 4 * 1
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(InvalidParameterError):
+            SensorNetworkSimulation(loss_rate=1.0)
+        with pytest.raises(InvalidParameterError):
+            SensorNetworkSimulation(loss_rate=-0.1)
+
+    def test_lossless_default(self):
+        report = SensorNetworkSimulation(
+            leaves=2, buckets=4, epochs=3, readings_per_epoch=100
+        ).run()
+        assert report.lost_epochs == 0
+        assert report.received_epochs == 6
+
+    @settings(deadline=None)
+    @given(st.floats(0.1, 0.8), st.integers(0, 5))
+    def test_guarantee_holds_under_loss(self, loss_rate, seed):
+        """Losses shrink the received stream; the bound tracks it exactly."""
+        report = SensorNetworkSimulation(
+            leaves=3,
+            buckets=6,
+            epochs=5,
+            readings_per_epoch=120,
+            loss_rate=loss_rate,
+            loss_seed=seed,
+        ).run()
+        assert report.received_epochs + report.lost_epochs == 15
+        assert report.guarantee_held
+
+    def test_radio_is_still_charged_for_lost_payloads(self):
+        lossy = SensorNetworkSimulation(
+            leaves=4, buckets=4, epochs=4, readings_per_epoch=100,
+            loss_rate=0.5, loss_seed=1,
+        ).run()
+        lossless = SensorNetworkSimulation(
+            leaves=4, buckets=4, epochs=4, readings_per_epoch=100,
+        ).run()
+        # Transmissions happen whether or not the base hears them.
+        assert lossy.summary_radio_bytes == lossless.summary_radio_bytes
+        assert lossy.lost_epochs > 0
+
+    def test_custom_signal(self):
+        def flat(leaf, epoch, n):
+            return [leaf * 10] * n
+
+        report = SensorNetworkSimulation(
+            leaves=2, buckets=2, epochs=3, readings_per_epoch=50,
+            signal=flat,
+        ).run()
+        assert report.worst_error == 0.0
+        assert report.guarantee_held

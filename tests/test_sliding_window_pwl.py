@@ -1,0 +1,123 @@
+"""Tests for the sliding-window PWL histogram extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sliding_window_pwl import SlidingWindowPwlMinIncrement
+from repro.exceptions import (
+    DomainError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
+from repro.offline.optimal_pwl import optimal_pwl_error
+
+UNIVERSE = 256
+streams = st.lists(st.integers(0, UNIVERSE - 1), min_size=1, max_size=120)
+
+
+class TestConstruction:
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowPwlMinIncrement(
+                buckets=4, epsilon=0.2, universe=UNIVERSE, window=0
+            )
+
+    def test_invalid_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowPwlMinIncrement(
+                buckets=0, epsilon=0.2, universe=UNIVERSE, window=8
+            )
+
+    def test_empty_raises(self):
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=4, epsilon=0.2, universe=UNIVERSE, window=8
+        )
+        with pytest.raises(EmptySummaryError):
+            summary.histogram()
+
+    def test_domain_check(self):
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=4, epsilon=0.2, universe=UNIVERSE, window=8
+        )
+        with pytest.raises(DomainError):
+            summary.insert(-1)
+
+
+class TestWindowSemantics:
+    def test_histogram_covers_exactly_the_window(self):
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=4, epsilon=0.2, universe=UNIVERSE, window=25
+        )
+        for i in range(90):
+            summary.insert((i * 7) % UNIVERSE)
+        hist = summary.histogram()
+        assert hist.beg == 65
+        assert hist.end == 89
+
+    def test_linear_window_after_noise_is_exact(self):
+        # A noisy prefix followed by a perfectly linear window: the PWL
+        # summary must recover the line exactly (error 0 at level 0).
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=2, epsilon=0.2, universe=UNIVERSE, window=40
+        )
+        for i in range(100):
+            summary.insert((i * 131) % UNIVERSE)
+        for i in range(40):
+            summary.insert(2 * i)
+        hist = summary.histogram()
+        expected = [2.0 * i for i in range(40)]
+        assert hist.max_error_against(expected) <= 1e-9
+
+    def test_clipped_first_segment_keeps_slope(self):
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=2, epsilon=0.2, universe=UNIVERSE, window=10
+        )
+        for i in range(30):
+            summary.insert(3 * i % UNIVERSE)
+        hist = summary.histogram()
+        # All covered values lie on y = 3x (mod wrap avoided: 3*29 < 256).
+        tail = [3 * i for i in range(20, 30)]
+        assert hist.max_error_against(tail) <= 1e-9
+
+
+class TestGuarantee:
+    @settings(max_examples=25)
+    @given(streams, st.integers(1, 4), st.integers(4, 48))
+    def test_window_guarantee(self, values, buckets, window):
+        epsilon = 0.2
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=buckets, epsilon=epsilon, universe=UNIVERSE, window=window
+        )
+        summary.extend(values)
+        hist = summary.histogram()
+        tail = values[-window:]
+        assert len(hist) <= buckets + 1
+        best = optimal_pwl_error(tail, buckets, tol=1e-3)
+        bound = max((1.0 + epsilon) * (best + 1e-3), 0.5)
+        assert hist.max_error_against(tail) <= bound + 1e-9
+
+
+class TestMemory:
+    def test_memory_independent_of_window(self):
+        stream = [((i * 37) % UNIVERSE) for i in range(2500)]
+        memories = []
+        for window in (100, 400, 1600):
+            summary = SlidingWindowPwlMinIncrement(
+                buckets=6, epsilon=0.3, universe=UNIVERSE, window=window,
+                hull_epsilon=0.2,
+            )
+            summary.extend(stream)
+            memories.append(summary.memory_bytes())
+        assert max(memories) <= 2 * min(memories)
+
+    def test_bucket_cap_enforced(self):
+        summary = SlidingWindowPwlMinIncrement(
+            buckets=3, epsilon=0.2, universe=UNIVERSE, window=300
+        )
+        for i in range(1200):
+            summary.insert((i * 113) % UNIVERSE)
+            for level in summary._summaries:
+                assert level.bucket_count <= 4

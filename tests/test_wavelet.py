@@ -1,0 +1,95 @@
+"""Tests for the Haar wavelet synopsis baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.wavelet import (
+    HaarWaveletSynopsis,
+    _haar_decompose,
+    _haar_reconstruct,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestValidation:
+    def test_empty_values(self):
+        with pytest.raises(InvalidParameterError):
+            HaarWaveletSynopsis([], 4)
+
+    def test_zero_budget(self):
+        with pytest.raises(InvalidParameterError):
+            HaarWaveletSynopsis([1, 2], 0)
+
+    def test_errors_against_length_mismatch(self):
+        synopsis = HaarWaveletSynopsis([1, 2, 3, 4], 4)
+        with pytest.raises(InvalidParameterError):
+            synopsis.errors_against([1, 2])
+
+
+class TestTransformRoundtrip:
+    @given(
+        st.lists(
+            st.integers(-100, 100), min_size=1, max_size=64
+        ).filter(lambda v: (len(v) & (len(v) - 1)) == 0)
+    )
+    def test_full_coefficient_set_reconstructs_exactly(self, values):
+        data = [float(v) for v in values]
+        coeffs = _haar_decompose(data)
+        tree = [0.0] * len(data)
+        for index, (value, _weight) in coeffs.items():
+            tree[index] = value
+        out = _haar_reconstruct(tree, len(data))
+        assert out == pytest.approx(data)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=70))
+    def test_full_budget_synopsis_is_lossless(self, values):
+        synopsis = HaarWaveletSynopsis(values, 2 * len(values))
+        linf, l2 = synopsis.errors_against(values)
+        assert linf == pytest.approx(0.0, abs=1e-9)
+        assert l2 == pytest.approx(0.0, abs=1e-9)
+
+
+class TestThresholding:
+    def test_constant_series_needs_one_coefficient(self):
+        synopsis = HaarWaveletSynopsis([7] * 32, 1)
+        linf, _l2 = synopsis.errors_against([7] * 32)
+        assert linf == pytest.approx(0.0)
+
+    def test_step_series_needs_two_coefficients(self):
+        values = [0] * 16 + [10] * 16
+        synopsis = HaarWaveletSynopsis(values, 2)
+        linf, _ = synopsis.errors_against(values)
+        assert linf == pytest.approx(0.0)
+
+    def test_budget_improves_error(self):
+        values = [((i * 37) % 53) for i in range(64)]
+        errors = []
+        for budget in (2, 8, 32, 128):
+            synopsis = HaarWaveletSynopsis(values, budget)
+            errors.append(synopsis.errors_against(values)[1])
+        assert errors == sorted(errors, reverse=True)
+
+    def test_spike_is_smoothed_away(self):
+        """Section 1.2's point: L2 thresholding can hide an L-inf spike."""
+        values = [0.0] * 256
+        values[100] = 100.0  # a single spike
+        # A smooth, high-energy background competes for coefficients.
+        values = [
+            v + 50.0 * math.sin(i / 5.0) for i, v in enumerate(values)
+        ]
+        synopsis = HaarWaveletSynopsis(values, 8)
+        linf, _ = synopsis.errors_against(values)
+        # The spike residual dominates: wavelets miss it at this budget.
+        assert linf > 40.0
+
+    def test_non_power_of_two_length(self):
+        values = [float(i % 9) for i in range(100)]
+        synopsis = HaarWaveletSynopsis(values, 200)
+        linf, _ = synopsis.errors_against(values)
+        assert linf == pytest.approx(0.0, abs=1e-9)
+        assert len(synopsis.reconstruct()) == 100

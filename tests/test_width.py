@@ -1,0 +1,118 @@
+"""Tests for rotating-calipers Euclidean width and the tbr."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.convex_hull import StreamingHull, convex_hull
+from repro.geometry.width import euclidean_width, thinnest_bounding_rectangle
+
+
+def brute_force_width(points) -> float:
+    """Reference: min over hull edges of max point distance to edge line."""
+    hull = convex_hull(points)
+    if len(hull) < 3:
+        return 0.0
+    best = math.inf
+    n = len(hull)
+    for i in range(n):
+        ax, ay = hull[i]
+        bx, by = hull[(i + 1) % n]
+        length = math.hypot(bx - ax, by - ay)
+        if length == 0:
+            continue
+        farthest = max(
+            abs((bx - ax) * (py - ay) - (by - ay) * (px - ax)) / length
+            for px, py in points
+        )
+        best = min(best, farthest)
+    return best
+
+
+point_sets = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestDegenerate:
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            euclidean_width([])
+        with pytest.raises(InvalidParameterError):
+            thinnest_bounding_rectangle([])
+
+    def test_single_point(self):
+        assert euclidean_width([(3, 4)]) == 0.0
+        width, corners = thinnest_bounding_rectangle([(3, 4)])
+        assert width == 0.0
+        assert corners == [(3.0, 4.0)] * 4
+
+    def test_two_points(self):
+        assert euclidean_width([(0, 0), (3, 4)]) == 0.0
+
+    def test_collinear(self):
+        assert euclidean_width([(i, i) for i in range(5)]) == 0.0
+
+
+class TestKnownShapes:
+    def test_axis_aligned_rectangle(self):
+        pts = [(0, 0), (10, 0), (10, 3), (0, 3)]
+        assert euclidean_width(pts) == pytest.approx(3.0)
+
+    def test_rotated_rectangle(self):
+        # 45-degree square of side sqrt(2): width = sqrt(2).
+        pts = [(0, 0), (1, 1), (2, 0), (1, -1)]
+        assert euclidean_width(pts) == pytest.approx(math.sqrt(2.0))
+
+    def test_triangle_width_is_smallest_height(self):
+        pts = [(0, 0), (4, 0), (0, 3)]
+        # Heights: 3 (base 4), 4 (base 3), 12/5 (hypotenuse).
+        assert euclidean_width(pts) == pytest.approx(12.0 / 5.0)
+
+    def test_accepts_streaming_hull(self):
+        hull = StreamingHull.from_points([(0, 0), (1, 3), (2, 0)])
+        assert euclidean_width(hull) == pytest.approx(brute_force_width(
+            [(0, 0), (1, 3), (2, 0)]
+        ))
+
+
+class TestAgainstBruteForce:
+    @given(point_sets)
+    def test_width_matches_reference(self, points):
+        assert euclidean_width(points) == pytest.approx(
+            brute_force_width(points), abs=1e-9
+        )
+
+
+class TestBoundingRectangle:
+    @given(point_sets)
+    def test_rectangle_contains_all_points(self, points):
+        width, corners = thinnest_bounding_rectangle(points)
+        if width == 0.0:
+            return
+        (ax, ay), (bx, by), _, (dx, dy) = corners
+        ux, uy = bx - ax, by - ay
+        vx, vy = dx - ax, dy - ay
+        uu = ux * ux + uy * uy
+        vv = vx * vx + vy * vy
+        for px, py in points:
+            s = ((px - ax) * ux + (py - ay) * uy) / uu
+            t = ((px - ax) * vx + (py - ay) * vy) / vv
+            assert -1e-9 <= s <= 1 + 1e-9
+            assert -1e-9 <= t <= 1 + 1e-9
+
+    @given(point_sets)
+    def test_rectangle_short_side_is_width(self, points):
+        width, corners = thinnest_bounding_rectangle(points)
+        if width == 0.0:
+            return
+        (ax, ay), _, _, (dx, dy) = corners
+        short = math.hypot(dx - ax, dy - ay)
+        assert short == pytest.approx(width, abs=1e-9)
