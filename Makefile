@@ -1,0 +1,19 @@
+# Developer entry points.  `make check` is the pre-merge gate: the full
+# tier-1 test suite plus the observability overhead guard (which fails if
+# disabled instrumentation slows ingestion by more than its budget).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test overhead-guard check bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+overhead-guard:
+	$(PYTHON) benchmarks/bench_observability_overhead.py
+
+check: test overhead-guard
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

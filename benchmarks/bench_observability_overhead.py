@@ -1,0 +1,167 @@
+"""Guard: disabled instrumentation must be (nearly) free.
+
+The observability layer (docs/OBSERVABILITY.md) is opt-in; a summary
+constructed without ``metrics=`` must ingest at the same speed as the
+pre-instrumentation implementation.  This file enforces that by loading
+the *seed* ``MinMergeHistogram`` / ``MinIncrementHistogram`` sources from
+git history (commit ``a7c99d7``, before the metrics layer existed),
+benchmarking them head-to-head against the current classes with metrics
+disabled, and failing if the current code is more than ``TOLERANCE``
+slower.
+
+Skips cleanly when git or the seed commit is unavailable (e.g. a source
+tarball), so the guard never blocks environments without history.
+
+Run directly (no pytest-benchmark dependency on the guard path)::
+
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SEED_COMMIT = "a7c99d7"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Allowed slowdown of the disabled-metrics path vs the seed sources.
+#: The budget from the issue is 3%; timing jitter in CI easily exceeds
+#: that on a single pair of runs, so we take the best of several repeats
+#: of each side before comparing.
+TOLERANCE = 1.03
+REPEATS = 5
+
+CASES = [
+    # (module path, class name, ctor kwargs, stream length)
+    (
+        "src/repro/core/min_merge.py",
+        "MinMergeHistogram",
+        {"buckets": 32},
+        20_000,
+    ),
+    (
+        "src/repro/core/min_increment.py",
+        "MinIncrementHistogram",
+        {"buckets": 32, "epsilon": 0.2, "universe": 1 << 15},
+        6_000,
+    ),
+]
+
+
+def _seed_source(path: str) -> str | None:
+    """The file's content at the seed commit, or None if unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"{SEED_COMMIT}:{path}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def _load_seed_class(path: str, class_name: str):
+    """Exec the seed source as a synthetic module and return the class.
+
+    The seed module's own imports (``repro.core.bucket`` etc.) resolve
+    against the current package -- those support modules are part of the
+    public surface and unchanged in behaviour.
+    """
+    source = _seed_source(path)
+    if source is None:
+        return None
+    module_name = f"_seed_{class_name.lower()}"
+    spec = importlib.util.spec_from_loader(module_name, loader=None)
+    module = importlib.util.module_from_spec(spec)
+    module.__file__ = f"<{SEED_COMMIT}:{path}>"
+    sys.modules[module_name] = module
+    try:
+        exec(compile(source, module.__file__, "exec"), module.__dict__)
+    except Exception:
+        del sys.modules[module_name]
+        return None
+    return getattr(module, class_name)
+
+
+def _best_ingest_seconds(cls, kwargs: dict, values: list) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        summary = cls(**kwargs)
+        extend = summary.extend
+        start = time.perf_counter()
+        extend(values)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _compare(path: str, class_name: str, kwargs: dict, length: int):
+    """(seed_seconds, current_seconds) for one class, or None to skip."""
+    from repro.data import brownian
+
+    seed_cls = _load_seed_class(path, class_name)
+    if seed_cls is None:
+        return None
+    module = importlib.import_module(
+        path.removeprefix("src/").removesuffix(".py").replace("/", ".")
+    )
+    current_cls = getattr(module, class_name)
+    values = brownian(length)
+    # Warm both classes once, then interleave-measure best-of-REPEATS.
+    _best_ingest_seconds(seed_cls, kwargs, values[:500])
+    _best_ingest_seconds(current_cls, kwargs, values[:500])
+    seed_s = _best_ingest_seconds(seed_cls, kwargs, values)
+    current_s = _best_ingest_seconds(current_cls, kwargs, values)
+    return seed_s, current_s
+
+
+@pytest.mark.parametrize(
+    "path,class_name,kwargs,length", CASES, ids=[c[1] for c in CASES]
+)
+def test_disabled_metrics_overhead(path, class_name, kwargs, length):
+    result = _compare(path, class_name, kwargs, length)
+    if result is None:
+        pytest.skip("seed sources unavailable (no git history)")
+    seed_s, current_s = result
+    ratio = current_s / seed_s
+    assert ratio < TOLERANCE, (
+        f"{class_name}: disabled-metrics ingest is {ratio:.3f}x the seed "
+        f"({current_s:.4f}s vs {seed_s:.4f}s); budget is {TOLERANCE}x"
+    )
+
+
+def main() -> int:
+    """Standalone entry point: prints a table, exit 1 on budget violation."""
+    failures = 0
+    for path, class_name, kwargs, length in CASES:
+        result = _compare(path, class_name, kwargs, length)
+        if result is None:
+            print(f"{class_name:<24} SKIP (seed sources unavailable)")
+            continue
+        seed_s, current_s = result
+        ratio = current_s / seed_s
+        verdict = "ok" if ratio < TOLERANCE else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"{class_name:<24} seed {seed_s * 1e3:8.2f} ms   "
+            f"current {current_s * 1e3:8.2f} ms   "
+            f"ratio {ratio:.3f}x   {verdict}"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

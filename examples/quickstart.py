@@ -7,10 +7,11 @@ Run with::
 The script streams a random walk through MIN-MERGE (the paper's simplest
 algorithm: O(B) memory, error never worse than the optimal B-bucket
 histogram) and prints the resulting summary next to the exact offline
-optimum.
+optimum, then repeats the run with instrumentation enabled to show the
+observability layer (docs/OBSERVABILITY.md).
 """
 
-from repro import MinMergeHistogram, optimal_error
+from repro import MinIncrementHistogram, MinMergeHistogram, optimal_error
 from repro.data import brownian
 
 
@@ -40,6 +41,25 @@ def main() -> None:
     approx = histogram.reconstruct()
     worst = max(abs(a - b) for a, b in zip(stream, approx))
     print(f"measured error   : {worst:g} (equals the reported error)")
+
+    # -- observability: the same ingest, instrumented ---------------------
+    # metrics=True attaches a private registry; every summary accepts it.
+    # Counters track lifecycle events (inserts, merges, ladder promotions),
+    # gauges read live state, and the insert-latency profile is kept in the
+    # library's own L-infinity histogram (see docs/OBSERVABILITY.md).
+    instrumented = MinIncrementHistogram(
+        buckets=32, epsilon=0.1, universe=1 << 15, metrics=True
+    )
+    instrumented.extend(stream)
+    snap = instrumented.metrics.snapshot()
+    print(f"\nlifecycle counts : {snap['counters']}")
+    print(f"live gauges      : {snap['gauges']}")
+    latency = snap["latencies"]["insert_latency"]
+    print(
+        f"insert latency   : mean {latency['mean_us']:.2f} us, "
+        f"p99 ~{latency['p99_us']:.2f} us "
+        f"(+/- {latency['timeline_max_error_us']:.2f} us)"
+    )
 
 
 if __name__ == "__main__":

@@ -47,7 +47,9 @@ from repro.core import (
     Segment,
     SlidingWindowMinIncrement,
     SlidingWindowPwlMinIncrement,
+    StreamingSummary,
 )
+from repro.observability import MetricsRegistry, SummaryMetrics
 from repro.baselines import (
     GKQuantileSketch,
     HaarWaveletSynopsis,
@@ -69,7 +71,7 @@ from repro.metrics import (
     series_linf_distance,
 )
 from repro.analysis import compression_profile, plan_summary
-from repro.api import summarize
+from repro.api import ALGORITHM_REGISTRY, summarize
 from repro.core.aggregation import (
     merge_min_merge_summaries,
     merge_pwl_summaries,
@@ -109,6 +111,10 @@ __all__ = [
     "Segment",
     "SlidingWindowMinIncrement",
     "SlidingWindowPwlMinIncrement",
+    "StreamingSummary",
+    # observability
+    "MetricsRegistry",
+    "SummaryMetrics",
     # baselines
     "HaarWaveletSynopsis",
     "GKQuantileSketch",
@@ -125,6 +131,7 @@ __all__ = [
     "optimal_pwl_histogram",
     # extensions beyond the paper
     "summarize",
+    "ALGORITHM_REGISTRY",
     "plan_summary",
     "compression_profile",
     "merge_min_merge_summaries",

@@ -12,11 +12,18 @@ Most adopters start with "I have a sequence, give me a good histogram".
 and returns a :class:`~repro.core.histogram.Histogram`.  For genuinely
 streaming use (values that do not fit in memory, sliding windows,
 checkpoints) instantiate the summary classes directly.
+
+Dispatch goes through :data:`ALGORITHM_REGISTRY`, a mapping from method
+name to builder; ``method`` may also be a summary *class* implementing
+the :class:`~repro.core.interface.StreamingSummary` protocol, which is
+constructed with whatever subset of ``buckets`` / ``epsilon`` /
+``universe`` its ``__init__`` accepts.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import inspect
+from typing import Sequence, Union
 
 from repro.core.histogram import Histogram
 from repro.core.min_increment import MinIncrementHistogram
@@ -26,21 +33,89 @@ from repro.exceptions import InvalidParameterError
 from repro.offline.optimal import optimal_histogram
 from repro.offline.optimal_pwl import optimal_pwl_histogram
 
-#: Method names accepted by :func:`summarize`.
-SUMMARIZE_METHODS = (
-    "min-increment",
-    "min-merge",
-    "pwl",
-    "optimal",
-    "optimal-pwl",
-)
+
+def _build_optimal(values, buckets, epsilon):
+    return optimal_histogram(values, buckets)
+
+
+def _build_optimal_pwl(values, buckets, epsilon):
+    return optimal_pwl_histogram(values, buckets)
+
+
+def _run_summary(summary, values) -> Histogram:
+    summary.extend(values)
+    return summary.histogram()
+
+
+def _build_min_merge(values, buckets, epsilon):
+    return _run_summary(MinMergeHistogram(buckets=buckets), values)
+
+
+def _build_min_increment(values, buckets, epsilon):
+    return _run_summary(
+        MinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=_universe_for(values)
+        ),
+        values,
+    )
+
+
+def _build_pwl(values, buckets, epsilon):
+    return _run_summary(
+        PwlMinIncrementHistogram(
+            buckets=buckets, epsilon=epsilon, universe=_universe_for(values)
+        ),
+        values,
+    )
+
+
+#: Registry mapping :func:`summarize` method names to builders.  Each
+#: builder takes ``(values, buckets, epsilon)`` and returns a
+#: :class:`~repro.core.histogram.Histogram`.  Extend it to register a new
+#: method name; ``SUMMARIZE_METHODS`` is derived from the keys.
+ALGORITHM_REGISTRY = {
+    "min-increment": _build_min_increment,
+    "min-merge": _build_min_merge,
+    "pwl": _build_pwl,
+    "optimal": _build_optimal,
+    "optimal-pwl": _build_optimal_pwl,
+}
+
+
+def __getattr__(name: str):
+    # Derived, not stored: reflects later registry additions (PEP 562).
+    if name == "SUMMARIZE_METHODS":
+        return tuple(ALGORITHM_REGISTRY)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _construct_summary_class(cls: type, values, buckets: int, epsilon: float):
+    """Build ``cls`` with whichever of our shared kwargs it accepts."""
+    try:
+        params = inspect.signature(cls).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        params = {}
+    kwargs = {}
+    if "buckets" in params:
+        kwargs["buckets"] = buckets
+    if "epsilon" in params:
+        kwargs["epsilon"] = epsilon
+    if "universe" in params:
+        kwargs["universe"] = _universe_for(values)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise InvalidParameterError(
+            f"cannot construct {cls.__name__} from (buckets, epsilon, "
+            f"universe): {exc}"
+        ) from None
 
 
 def summarize(
     values: Sequence,
     buckets: int,
     *,
-    method: str = "min-increment",
+    method: Union[str, type] = "min-increment",
     epsilon: float = 0.1,
 ) -> Histogram:
     """Build a maximum-error histogram of ``values`` in one call.
@@ -49,47 +124,42 @@ def summarize(
     ----------
     values:
         The full sequence (non-negative numbers; integer sequences get
-        exact guarantees).
+        exact guarantees).  Iterators and generators are accepted and
+        materialized once.
     buckets:
         Bucket budget ``B``.  ``"min-merge"`` returns up to ``2 B``
         buckets (that is its theorem); every other method stays within
         ``B``.
     method:
+        A name from :data:`ALGORITHM_REGISTRY`:
+
         * ``"min-increment"`` (default) -- streaming (1 + eps, 1);
         * ``"min-merge"`` -- streaming (1, 2);
         * ``"pwl"`` -- streaming piecewise-linear (1 + eps, 1);
         * ``"optimal"`` -- exact offline optimum (Theorem 6);
-        * ``"optimal-pwl"`` -- near-exact offline piecewise-linear.
+        * ``"optimal-pwl"`` -- near-exact offline piecewise-linear;
+
+        or a summary class (e.g. ``MinMergeHistogram``) conforming to the
+        :class:`~repro.core.interface.StreamingSummary` protocol.
     epsilon:
         Approximation parameter for the streaming methods.
     """
+    if not hasattr(values, "__len__"):
+        # Generators / iterators: materialize once so len(), min()/max()
+        # (universe sizing), and the stream pass all see the same data.
+        values = list(values)
     if len(values) == 0:
         raise InvalidParameterError("cannot summarize an empty sequence")
-    if method == "optimal":
-        return optimal_histogram(values, buckets)
-    if method == "optimal-pwl":
-        return optimal_pwl_histogram(values, buckets)
-    if method == "min-merge":
-        summary = MinMergeHistogram(buckets=buckets)
-        summary.extend(values)
-        return summary.histogram()
-    universe = _universe_for(values)
-    if method == "min-increment":
-        streaming = MinIncrementHistogram(
-            buckets=buckets, epsilon=epsilon, universe=universe
+    if isinstance(method, type):
+        summary = _construct_summary_class(method, values, buckets, epsilon)
+        return _run_summary(summary, values)
+    builder = ALGORITHM_REGISTRY.get(method)
+    if builder is None:
+        known = ", ".join(ALGORITHM_REGISTRY)
+        raise InvalidParameterError(
+            f"unknown method {method!r}; known methods: {known}"
         )
-        streaming.extend(values)
-        return streaming.histogram()
-    if method == "pwl":
-        pwl = PwlMinIncrementHistogram(
-            buckets=buckets, epsilon=epsilon, universe=universe
-        )
-        pwl.extend(values)
-        return pwl.histogram()
-    known = ", ".join(SUMMARIZE_METHODS)
-    raise InvalidParameterError(
-        f"unknown method {method!r}; known methods: {known}"
-    )
+    return builder(values, buckets, epsilon)
 
 
 def _universe_for(values: Sequence) -> int:

@@ -18,10 +18,12 @@ rank-accurate within ``eps * n`` and space is O(eps^-1 log(eps n)).
 from __future__ import annotations
 
 from bisect import insort
-from typing import Iterable
+from time import perf_counter
+from typing import Iterable, Optional
 
 from repro.exceptions import EmptySummaryError, InvalidParameterError
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 
 
 class _Tuple:
@@ -46,6 +48,11 @@ class GKQuantileSketch:
     epsilon:
         Rank-error bound: a query for quantile ``q`` returns a value whose
         rank is within ``epsilon * n`` of ``q * n``.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).  Compression folds are counted as
+        merges and each compression sweep as a flush.
     """
 
     def __init__(
@@ -53,6 +60,7 @@ class GKQuantileSketch:
         epsilon: float = 0.01,
         *,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if not 0 < epsilon < 1:
             raise InvalidParameterError(
@@ -64,11 +72,16 @@ class GKQuantileSketch:
         self._n = 0
         # Compress every ~1/(2 eps) inserts (the classic schedule).
         self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion -------------------------------------------------------------
 
     def insert(self, value) -> None:
         """Add one value to the sketch."""
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
         self._n += 1
         band_cap = int(2.0 * self.epsilon * self._n)
         entries = self._entries
@@ -88,7 +101,15 @@ class GKQuantileSketch:
             delta = max(0, band_cap - 1)
             entries.insert(lo, _Tuple(value, 1, delta))
         if self._n % self._compress_every == 0:
+            before = len(self._entries)
             self._compress()
+            if observe:
+                folded = before - len(self._entries)
+                if folded:
+                    self._metrics.on_merge(folded)
+                self._metrics.on_flush(folded)
+        if observe:
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable."""
@@ -101,6 +122,11 @@ class GKQuantileSketch:
     def items_seen(self) -> int:
         """Number of values inserted so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def entry_count(self) -> int:

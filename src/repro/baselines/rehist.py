@@ -34,6 +34,7 @@ from the original values via a greedy pass at the reported error.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
 from repro.core.histogram import Histogram, Segment
@@ -43,6 +44,7 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.structures.monotone_stack import SuffixWindow
 
 
@@ -109,6 +111,10 @@ class RehistHistogram:
         factor -- the ablation benchmark quantifies the trade.
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -119,6 +125,7 @@ class RehistHistogram:
         *,
         delta: float = None,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -147,6 +154,9 @@ class RehistHistogram:
         ]
         self._n = 0
         self._current_error = 0.0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion ------------------------------------------------------------
 
@@ -156,6 +166,8 @@ class RehistHistogram:
             raise DomainError(
                 f"value {value!r} outside universe [0, {self.universe})"
             )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
         self._window.append(value)
         self._n += 1
         n = self._n
@@ -167,9 +179,18 @@ class RehistHistogram:
         errors[1] = self._window.interval_error(0)
         for k in range(2, len(errors)):
             errors[k] = self._transition(self._levels[k - 2])
+        before = self.breakpoint_count() if observe else 0
         for k in range(1, min(b - 1, n) + 1):
             self._levels[k - 1].record(n, errors[k])
         self._current_error = errors[min(b, n)]
+        if observe:
+            # Recordings that replaced a tail entry (stayed in the same
+            # error class) are the DP's merges.
+            recorded = min(b - 1, n)
+            folded = recorded - (self.breakpoint_count() - before)
+            if folded > 0:
+                self._metrics.on_merge(folded)
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -182,6 +203,11 @@ class RehistHistogram:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def error(self) -> float:

@@ -11,6 +11,17 @@ memory accounting as if the process had never stopped (property-tested in
 Supported summary types: :class:`MinMergeHistogram`,
 :class:`MinIncrementHistogram`, and :class:`SlidingWindowMinIncrement` --
 the three the paper's deployment scenarios run unattended.
+
+**Instrumentation policy**: metrics (``docs/OBSERVABILITY.md``) are
+process-local observability state, not summary state, so they are *not*
+serialized -- :func:`restore` always returns an uninstrumented summary
+(``summary.metrics is None``), and counters start from zero if the caller
+re-enables instrumentation.  This is deliberate: a checkpoint restored on
+another machine would otherwise report the dead process's latency
+timeline as its own.  Re-enable by constructing with ``metrics=`` and
+replaying, or by attaching a fresh registry to a restored summary via its
+constructor arguments; algorithm state round-trips exactly either way
+(tested in ``tests/test_observability.py``).
 """
 
 from __future__ import annotations

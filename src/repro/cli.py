@@ -4,6 +4,7 @@ Subcommands::
 
     repro-histogram list-datasets
     repro-histogram summarize --dataset dow-jones --algorithm min-merge -B 32
+    repro-histogram stats --dataset dow-jones --algorithm min-increment -B 32
     repro-histogram fig5 [--paper]
     repro-histogram fig6 [--paper]
     repro-histogram fig7 [--paper]
@@ -25,7 +26,7 @@ from typing import Optional, Sequence
 
 from repro.data.datasets import dataset_by_name, list_datasets
 from repro.harness import experiments
-from repro.harness.reporting import render_series
+from repro.harness.reporting import render_metrics, render_series
 from repro.harness.runner import ALGORITHM_NAMES, make_algorithm, run_stream
 
 
@@ -59,6 +60,31 @@ def _build_parser() -> argparse.ArgumentParser:
     summarize.add_argument(
         "--window", type=int, default=None,
         help="window length (sliding-window algorithm only)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="stream a dataset with instrumentation on and print the metrics",
+    )
+    stats.add_argument(
+        "--dataset", default="brownian", help="dataset name (see list-datasets)"
+    )
+    stats.add_argument(
+        "--algorithm",
+        default="min-increment",
+        choices=ALGORITHM_NAMES,
+        help="algorithm to instrument",
+    )
+    stats.add_argument("-B", "--buckets", type=int, default=32)
+    stats.add_argument("--epsilon", type=float, default=0.2)
+    stats.add_argument("-n", "--points", type=int, default=16384)
+    stats.add_argument(
+        "--window", type=int, default=None,
+        help="window length (sliding-window algorithms only)",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the raw registry snapshot as JSON instead of tables",
     )
 
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9"):
@@ -128,6 +154,40 @@ def _cmd_summarize(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_stats(args: argparse.Namespace) -> str:
+    import json
+
+    values = dataset_by_name(args.dataset).loader(args.points)
+    window = args.window if args.window is not None else max(1, args.points // 4)
+    algo = make_algorithm(
+        args.algorithm,
+        buckets=args.buckets,
+        epsilon=args.epsilon,
+        window=window,
+        metrics=True,
+    )
+    result = run_stream(algo, values, name=args.algorithm)
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "algorithm": result.algorithm,
+            "items": result.items,
+            "error": result.error,
+            "metrics": result.metrics,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    head = (
+        f"dataset     : {args.dataset} ({result.items:,} points)\n"
+        f"algorithm   : {result.algorithm} (B={args.buckets}, eps={args.epsilon})\n"
+        f"error       : {result.error:g}\n"
+        f"ingest time : {result.seconds:.3f} s "
+        f"({result.items_per_second:,.0f} items/s)"
+    )
+    return head + "\n\n" + render_metrics(
+        result.metrics, title=f"{args.algorithm} metrics"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -135,6 +195,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_list_datasets())
     elif args.command == "summarize":
         print(_cmd_summarize(args))
+    elif args.command == "stats":
+        print(_cmd_stats(args))
     elif args.command == "fig5":
         print(render_series(experiments.fig5_memory_vs_buckets(paper_scale=args.paper)))
     elif args.command == "fig6":

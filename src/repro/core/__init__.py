@@ -8,6 +8,12 @@ sliding-window MIN-INCREMENT (Section 4.1).
 from repro.core.bucket import Bucket
 from repro.core.histogram import Histogram, Segment
 from repro.core.error_ladder import ErrorLadder
+from repro.core.interface import (
+    DEFAULT_HULL_EPSILON,
+    StreamingSummary,
+    conforms,
+    missing_members,
+)
 from repro.core.greedy_insert import GreedyInsertSummary
 from repro.core.min_merge import MinMergeHistogram
 from repro.core.min_increment import MinIncrementHistogram
@@ -25,6 +31,10 @@ __all__ = [
     "Histogram",
     "Segment",
     "ErrorLadder",
+    "DEFAULT_HULL_EPSILON",
+    "StreamingSummary",
+    "conforms",
+    "missing_members",
     "GreedyInsertSummary",
     "MinMergeHistogram",
     "MinIncrementHistogram",

@@ -19,7 +19,7 @@ integer stream and cost O(1) words.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
 
@@ -35,12 +35,27 @@ class ErrorLadder(Sequence):
         The size ``U`` of the integer value domain ``[0, U)``.  The largest
         possible histogram error is ``(U - 1) / 2`` (one bucket spanning the
         whole domain), so the ladder stops at the first level ``>= U / 2``.
-    include_zero:
+    include_zero_level:
         Prepend the exact levels ``e = 0`` and ``e = 1/2`` (default True;
-        see module docs).
+        see module docs).  The pre-unification spelling ``include_zero``
+        still works but emits a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, epsilon: float, universe: int, *, include_zero: bool = True):
+    def __init__(
+        self,
+        epsilon: float,
+        universe: int,
+        *,
+        include_zero_level: bool = True,
+        include_zero: Optional[bool] = None,
+    ):
+        if include_zero is not None:
+            from repro.core.interface import warn_deprecated_kwarg
+
+            warn_deprecated_kwarg(
+                "include_zero", "include_zero_level", owner="ErrorLadder"
+            )
+            include_zero_level = include_zero
         if not 0 < epsilon < 1:
             raise InvalidParameterError(
                 f"epsilon must lie in (0, 1), got {epsilon}"
@@ -51,7 +66,7 @@ class ErrorLadder(Sequence):
             )
         self.epsilon = epsilon
         self.universe = universe
-        levels: list[float] = [0.0, 0.5] if include_zero else []
+        levels: list[float] = [0.0, 0.5] if include_zero_level else []
         e = 1.0
         top = universe / 2.0
         while True:

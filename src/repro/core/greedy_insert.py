@@ -112,6 +112,13 @@ class GreedyInsertSummary:
         return self._next_index - first
 
     @property
+    def metrics(self):
+        """Always ``None``: leaf summaries run inside MIN-INCREMENT's
+        ladder, whose parent does the event accounting -- instrumenting the
+        per-level hot loop would multiply the overhead by the ladder size."""
+        return None
+
+    @property
     def bucket_count(self) -> int:
         """Buckets used so far, counting the open one."""
         return len(self._closed) + (1 if self._open is not None else 0)

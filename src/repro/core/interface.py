@@ -1,0 +1,142 @@
+"""The unified :class:`StreamingSummary` protocol and shared constructor
+conventions.
+
+Every streaming summary in this library -- the paper's algorithms in
+``repro/core``, the baselines, the relative-error and L2 variants, and the
+many-stream :class:`~repro.fleet.StreamFleet` -- satisfies one structural
+protocol so harnesses, benchmarks, and deployments can treat them
+uniformly:
+
+* ``insert(value)`` / ``extend(values)`` -- ingestion;
+* ``items_seen`` -- stream position;
+* ``error`` -- current summary error;
+* ``histogram()`` -- materialize the current approximation;
+* ``memory_bytes()`` -- accounted algorithmic memory;
+* ``metrics`` -- the :class:`~repro.observability.SummaryMetrics`
+  instrumentation facade, or ``None`` when the summary was built without
+  ``metrics=`` (see ``docs/OBSERVABILITY.md``).
+
+Conformance is *structural* (:pep:`544`): ``isinstance(obj,
+StreamingSummary)`` checks member presence, which is exactly what the
+parametrized conformance test in ``tests/test_interface.py`` pins down for
+every public class.
+
+This module also centralizes the constructor keyword conventions the
+classes agreed on when their signatures were unified:
+
+* ``buckets`` is always the **target** bucket count ``B`` of the guarantee;
+* ``working_buckets`` is always the optional working-budget override of
+  the merge family (defaults to ``2 * buckets`` where the (1, 2) theorem
+  needs the slack, and to ``buckets`` where there is no such theorem);
+* ``hull_epsilon`` always defaults to :data:`DEFAULT_HULL_EPSILON`
+  (``None`` = exact hulls, the strongest guarantee); bounded-memory
+  approximate hulls are an explicit opt-in;
+* ``include_zero_level`` is the one spelling for prepending the exact
+  ladder levels (:class:`~repro.core.error_ladder.ErrorLadder` accepted
+  ``include_zero`` historically; that spelling still works behind a
+  :class:`DeprecationWarning` shim).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "DEFAULT_HULL_EPSILON",
+    "StreamingSummary",
+    "conforms",
+    "missing_members",
+    "warn_deprecated_kwarg",
+]
+
+#: Unified default for the PWL classes' hull slack: ``None`` keeps exact
+#: convex hulls (tightest guarantee, data-dependent memory).  Pass a float
+#: in (0, 1) for the paper's size-capped approximate hulls.  Historically
+#: :class:`~repro.core.pwl_min_merge.PwlMinMergeHistogram` defaulted to
+#: ``0.1`` while :class:`~repro.core.pwl_min_increment.PwlMinIncrementHistogram`
+#: defaulted to ``None``; the harness registry still runs the paper's
+#: experiments at ``hull_epsilon=0.1`` explicitly.
+DEFAULT_HULL_EPSILON: Optional[float] = None
+
+
+@runtime_checkable
+class StreamingSummary(Protocol):
+    """Structural protocol shared by every streaming summary.
+
+    Notes on the two deliberate loosenesses:
+
+    * :class:`~repro.baselines.rehist.RehistHistogram` materializes its
+      histogram from the original values (``histogram(values)``) -- the
+      member is present with a wider signature.
+    * :class:`~repro.fleet.StreamFleet` conforms in aggregate: its
+      ``insert``/``extend``/``histogram``/``error`` take a stream id, its
+      ``items_seen``/``memory_bytes`` total over all member streams.
+    """
+
+    def insert(self, value) -> None:
+        """Process the next stream value."""
+        ...
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every value of an iterable, in order."""
+        ...
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values accepted so far."""
+        ...
+
+    @property
+    def error(self) -> float:
+        """Current summary error."""
+        ...
+
+    def histogram(self):
+        """Materialize the current approximation."""
+        ...
+
+    def memory_bytes(self) -> int:
+        """Accounted algorithmic memory in bytes."""
+        ...
+
+    @property
+    def metrics(self):
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        ...
+
+
+#: Member names the protocol requires (kept explicit so conformance
+#: reporting can say *what* is missing rather than just "not an instance").
+_PROTOCOL_MEMBERS = (
+    "insert",
+    "extend",
+    "items_seen",
+    "error",
+    "histogram",
+    "memory_bytes",
+    "metrics",
+)
+
+
+def missing_members(cls: type) -> list[str]:
+    """Protocol members the *class* does not define (empty = conformant)."""
+    return [name for name in _PROTOCOL_MEMBERS if not hasattr(cls, name)]
+
+
+def conforms(cls: type) -> bool:
+    """True when the class declares every :class:`StreamingSummary` member.
+
+    Class-level check (no instantiation), so it is safe for classes whose
+    properties raise on an empty summary.
+    """
+    return not missing_members(cls)
+
+
+def warn_deprecated_kwarg(old: str, new: str, *, owner: str) -> None:
+    """Emit the shared :class:`DeprecationWarning` for a renamed keyword."""
+    warnings.warn(
+        f"{owner}({old}=...) is deprecated; use {new}= instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

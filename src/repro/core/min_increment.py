@@ -17,6 +17,7 @@ amortizes the per-item cost to O(1).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.core.error_ladder import ErrorLadder
@@ -28,6 +29,7 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 
 
 class MinIncrementHistogram:
@@ -51,6 +53,10 @@ class MinIncrementHistogram:
         here as ``batch_size="auto"``.
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
 
     Examples
     --------
@@ -70,13 +76,14 @@ class MinIncrementHistogram:
         batch_size=None,
         include_zero_level: bool = True,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
         self.target_buckets = buckets
         self.universe = universe
         self.ladder = ErrorLadder(
-            epsilon, universe, include_zero=include_zero_level
+            epsilon, universe, include_zero_level=include_zero_level
         )
         self.epsilon = epsilon
         self._model = memory_model
@@ -93,6 +100,13 @@ class MinIncrementHistogram:
             )
         self._batch_size: Optional[int] = batch_size
         self._buffer: list = []
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
+            # Route ingestion through the instrumented twin.  Binding on
+            # the instance keeps the uninstrumented insert() below exactly
+            # the seed implementation -- zero overhead when disabled.
+            self.insert = self._insert_observed
 
     # -- ingestion -------------------------------------------------------------
 
@@ -106,6 +120,19 @@ class MinIncrementHistogram:
         self._buffer.append(value)
         if len(self._buffer) >= self._batch_size:
             self._flush_buffer()
+
+    def _insert_observed(self, value) -> None:
+        """Instrumented twin of :meth:`insert` (same algorithm + hooks)."""
+        self._check_domain(value)
+        start = perf_counter()
+        self._n += 1
+        if self._batch_size is None:
+            self._insert_unbuffered_observed(value)
+        else:
+            self._buffer.append(value)
+            if len(self._buffer) >= self._batch_size:
+                self._flush_buffer()
+        self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -123,6 +150,11 @@ class MinIncrementHistogram:
     def items_seen(self) -> int:
         """Number of stream values accepted so far (buffered ones included)."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def alive_levels(self) -> list[float]:
@@ -204,18 +236,58 @@ class MinIncrementHistogram:
                 survivors.append(summary)
         self._keep(survivors)
 
+    def _insert_unbuffered_observed(self, value) -> None:
+        """:meth:`_insert_unbuffered` plus merge/promotion accounting.
+
+        A *merge* is the value being absorbed into the answer-level (finest
+        surviving) summary's open bucket; a *promotion* is a ladder level
+        dying, which moves the answer to a coarser target error.
+        """
+        limit = self.target_buckets
+        best = self._summaries[0]
+        best_buckets = best.bucket_count
+        survivors = []
+        dead = 0
+        for summary in self._summaries:
+            summary.insert(value)
+            if summary.bucket_count <= limit or summary is self._summaries[-1]:
+                survivors.append(summary)
+            else:
+                dead += 1
+        self._keep(survivors)
+        if dead:
+            self._metrics.on_promotion(dead)
+        if survivors[0] is best and best.bucket_count == best_buckets:
+            self._metrics.on_merge()
+
     def _flush_buffer(self) -> None:
         buffer = self._buffer
         lo = min(buffer)
         hi = max(buffer)
         limit = self.target_buckets
+        observe = self._metrics is not None
+        best = self._summaries[0]
+        best_buckets = best.bucket_count if observe else 0
         survivors = []
+        dead = 0
         for summary in self._summaries:
             summary.insert_batch(buffer, lo, hi)
             if summary.bucket_count <= limit or summary is self._summaries[-1]:
                 survivors.append(summary)
+            else:
+                dead += 1
         self._keep(survivors)
         self._buffer = []
+        if observe:
+            self._metrics.on_flush(len(buffer))
+            if dead:
+                self._metrics.on_promotion(dead)
+            if survivors[0] is best:
+                # Values that did not open a new answer-level bucket were
+                # absorbed into existing ones.
+                absorbed = len(buffer) - (best.bucket_count - best_buckets)
+                if absorbed > 0:
+                    self._metrics.on_merge(absorbed)
 
     def _keep(self, survivors: list[GreedyInsertSummary]) -> None:
         # The coarsest level always survives (one bucket suffices for the

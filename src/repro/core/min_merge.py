@@ -19,12 +19,14 @@ is exercised by the property-based tests.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.core.bucket import Bucket
 from repro.core.histogram import Histogram, Segment
 from repro.exceptions import EmptySummaryError, InvalidParameterError
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.structures.heap import AddressableMinHeap
 from repro.structures.linked_list import BucketList, BucketNode
 
@@ -50,6 +52,10 @@ class MinMergeHistogram:
         O(B) extra words differ.
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
 
     Examples
     --------
@@ -68,6 +74,7 @@ class MinMergeHistogram:
         working_buckets: Optional[int] = None,
         findmin: str = "heap",
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -88,6 +95,13 @@ class MinMergeHistogram:
         self._list = BucketList()
         self._heap = AddressableMinHeap()
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
+            # Route ingestion through the instrumented twin.  Binding on
+            # the instance keeps the uninstrumented insert() below exactly
+            # the seed implementation -- zero overhead when disabled.
+            self.insert = self._insert_observed
 
     # -- stream ingestion --------------------------------------------------
 
@@ -104,6 +118,22 @@ class MinMergeHistogram:
                 self._merge_min_pair_linear()
         self._n += 1
 
+    def _insert_observed(self, value) -> None:
+        """Instrumented twin of :meth:`insert` (same algorithm + hooks)."""
+        start = perf_counter()
+        node = self._list.append(Bucket.singleton(self._n, value))
+        prev = node.prev
+        if prev is not None and self.findmin == "heap":
+            self._push_pair_key(prev)
+        if len(self._list) > self.working_buckets:
+            if self.findmin == "heap":
+                self._merge_min_pair()
+            else:
+                self._merge_min_pair_linear()
+            self._metrics.on_merge()
+        self._n += 1
+        self._metrics.on_insert(latency=perf_counter() - start)
+
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
         for value in values:
@@ -115,6 +145,11 @@ class MinMergeHistogram:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def bucket_count(self) -> int:

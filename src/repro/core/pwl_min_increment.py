@@ -16,10 +16,12 @@ two PWL-specific twists straight from the paper:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.core.error_ladder import ErrorLadder
 from repro.core.histogram import Histogram
+from repro.core.interface import DEFAULT_HULL_EPSILON
 from repro.core.pwl_bucket import ClosedPwlBucket, PwlBucket
 from repro.exceptions import (
     DomainError,
@@ -27,6 +29,7 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 
 
 class PwlGreedyInsertSummary:
@@ -38,7 +41,7 @@ class PwlGreedyInsertSummary:
         self,
         target_error: float,
         *,
-        hull_epsilon: Optional[float] = None,
+        hull_epsilon: Optional[float] = DEFAULT_HULL_EPSILON,
         start_index: int = 0,
     ):
         if target_error < 0:
@@ -73,6 +76,19 @@ class PwlGreedyInsertSummary:
     def bucket_count(self) -> int:
         """Buckets used so far, counting the open one."""
         return len(self.closed) + (1 if self.open is not None else 0)
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream values processed (relative to start_index)."""
+        first = self.closed[0].beg if self.closed else (
+            self.open.beg if self.open is not None else self._next_index
+        )
+        return self._next_index - first
+
+    @property
+    def metrics(self):
+        """Always ``None``: leaf summaries are accounted by their parent."""
+        return None
 
     @property
     def error(self) -> float:
@@ -116,11 +132,17 @@ class PwlMinIncrementHistogram:
     universe:
         Size ``U`` of the integer value domain ``[0, U)``.
     hull_epsilon:
-        Width slack of the open buckets' approximate hulls; ``None`` keeps
-        exact hulls.  When set, the effective approximation factor composes
-        to roughly ``(1 + epsilon) / (1 - hull_epsilon)``.
+        Width slack of the open buckets' approximate hulls; the unified
+        default :data:`~repro.core.interface.DEFAULT_HULL_EPSILON`
+        (``None``) keeps exact hulls.  When set, the effective
+        approximation factor composes to roughly
+        ``(1 + epsilon) / (1 - hull_epsilon)``.
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -129,9 +151,10 @@ class PwlMinIncrementHistogram:
         epsilon: float,
         universe: int,
         *,
-        hull_epsilon: Optional[float] = None,
+        hull_epsilon: Optional[float] = DEFAULT_HULL_EPSILON,
         include_zero_level: bool = True,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -140,7 +163,7 @@ class PwlMinIncrementHistogram:
         self.universe = universe
         self.hull_epsilon = hull_epsilon
         self.ladder = ErrorLadder(
-            epsilon, universe, include_zero=include_zero_level
+            epsilon, universe, include_zero_level=include_zero_level
         )
         self._model = memory_model
         self._summaries = [
@@ -148,6 +171,9 @@ class PwlMinIncrementHistogram:
             for level in self.ladder
         ]
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion -----------------------------------------------------------------
 
@@ -157,14 +183,27 @@ class PwlMinIncrementHistogram:
             raise DomainError(
                 f"value {value!r} outside universe [0, {self.universe})"
             )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
+        best = self._summaries[0]
+        best_buckets = best.bucket_count if observe else 0
         self._n += 1
         limit = self.target_buckets
         survivors = []
+        dead = 0
         for summary in self._summaries:
             summary.insert(value)
             if summary.bucket_count <= limit or summary is self._summaries[-1]:
                 survivors.append(summary)
+            else:
+                dead += 1
         self._summaries = survivors
+        if observe:
+            if dead:
+                self._metrics.on_promotion(dead)
+            if survivors[0] is best and best.bucket_count == best_buckets:
+                self._metrics.on_merge()
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -177,6 +216,11 @@ class PwlMinIncrementHistogram:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def alive_levels(self) -> list[float]:

@@ -14,12 +14,15 @@ data-dependent memory.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.core.histogram import Histogram
+from repro.core.interface import DEFAULT_HULL_EPSILON
 from repro.core.pwl_bucket import PwlBucket
 from repro.exceptions import EmptySummaryError, InvalidParameterError
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.structures.heap import AddressableMinHeap
 from repro.structures.linked_list import BucketList, BucketNode
 
@@ -33,20 +36,29 @@ class PwlMinMergeHistogram:
         Target bucket count ``B``; up to ``2 * B`` working buckets.
     hull_epsilon:
         Relative width slack of the per-bucket approximate hulls (the
-        ``eps`` of Theorem 3).  ``None`` keeps exact hulls.
+        ``eps`` of Theorem 3).  The unified default
+        :data:`~repro.core.interface.DEFAULT_HULL_EPSILON` (``None``)
+        keeps exact hulls -- the (1, 2) guarantee at data-dependent
+        memory; pass a float in (0, 1) for the paper's bounded-memory
+        variant (the harness registry uses ``0.1``).
     working_buckets:
         Override for the working budget (defaults to ``2 * buckets``).
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
         self,
         buckets: int,
         *,
-        hull_epsilon: Optional[float] = 0.1,
+        hull_epsilon: Optional[float] = DEFAULT_HULL_EPSILON,
         working_buckets: Optional[int] = None,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -63,18 +75,27 @@ class PwlMinMergeHistogram:
         self._list = BucketList()
         self._heap = AddressableMinHeap()
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion ------------------------------------------------------------
 
     def insert(self, value) -> None:
         """Process the next stream value."""
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
         bucket = PwlBucket(self._n, value, hull_epsilon=self.hull_epsilon)
         node = self._list.append(bucket)
         if node.prev is not None:
             self._push_pair_key(node.prev)
         if len(self._list) > self.working_buckets:
             self._merge_min_pair()
+            if observe:
+                self._metrics.on_merge()
         self._n += 1
+        if observe:
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -87,6 +108,11 @@ class PwlMinMergeHistogram:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def bucket_count(self) -> int:

@@ -24,6 +24,7 @@ whole window with at most ``B + 1`` buckets.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Deque, Iterable, Optional
 
 from repro.core.bucket import Bucket
@@ -35,6 +36,7 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 
 
 class _WindowedGreedySummary:
@@ -56,16 +58,28 @@ class _WindowedGreedySummary:
             self.closed.append(self.open)
             self.open = Bucket.singleton(index, value)
 
-    def expire(self, window_start: int) -> None:
-        """Drop buckets entirely outside the window (end < window_start)."""
+    def expire(self, window_start: int) -> int:
+        """Drop buckets entirely outside the window (end < window_start).
+
+        Returns the number of buckets dropped.
+        """
+        dropped = 0
         while self.closed and self.closed[0].end < window_start:
             self.closed.popleft()
+            dropped += 1
         # The open bucket always ends at the newest item, inside the window.
+        return dropped
 
-    def trim_to(self, max_buckets: int) -> None:
-        """Drop oldest buckets until at most ``max_buckets`` remain."""
+    def trim_to(self, max_buckets: int) -> int:
+        """Drop oldest buckets until at most ``max_buckets`` remain.
+
+        Returns the number of buckets dropped.
+        """
+        dropped = 0
         while self.bucket_count > max_buckets and self.closed:
             self.closed.popleft()
+            dropped += 1
+        return dropped
 
     @property
     def bucket_count(self) -> int:
@@ -101,6 +115,11 @@ class SlidingWindowMinIncrement:
         Window length ``w >= 1``: queries describe the last ``w`` values.
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).  Expired and trimmed buckets are
+        counted as evictions.
     """
 
     def __init__(
@@ -112,6 +131,7 @@ class SlidingWindowMinIncrement:
         *,
         include_zero_level: bool = True,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -122,13 +142,16 @@ class SlidingWindowMinIncrement:
         self.universe = universe
         self.epsilon = epsilon
         self.ladder = ErrorLadder(
-            epsilon, universe, include_zero=include_zero_level
+            epsilon, universe, include_zero_level=include_zero_level
         )
         self._model = memory_model
         self._summaries = [
             _WindowedGreedySummary(level) for level in self.ladder
         ]
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -142,10 +165,22 @@ class SlidingWindowMinIncrement:
         self._n += 1
         window_start = self.window_start
         max_buckets = self.target_buckets + 1
+        m = self._metrics
+        if m is None:
+            for summary in self._summaries:
+                summary.insert(index, value)
+                summary.expire(window_start)
+                summary.trim_to(max_buckets)
+            return
+        start = perf_counter()
+        evicted = 0
         for summary in self._summaries:
             summary.insert(index, value)
-            summary.expire(window_start)
-            summary.trim_to(max_buckets)
+            evicted += summary.expire(window_start)
+            evicted += summary.trim_to(max_buckets)
+        if evicted:
+            m.on_evict(evicted)
+        m.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -158,6 +193,11 @@ class SlidingWindowMinIncrement:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def window_start(self) -> int:

@@ -19,10 +19,12 @@ granularity -- PWL optima are real-valued; see DESIGN.md item 5).
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Deque, Iterable, Optional
 
 from repro.core.error_ladder import ErrorLadder
 from repro.core.histogram import Histogram, Segment
+from repro.core.interface import DEFAULT_HULL_EPSILON
 from repro.core.pwl_bucket import ClosedPwlBucket, PwlBucket
 from repro.exceptions import (
     DomainError,
@@ -30,6 +32,7 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 
 
 class _WindowedPwlGreedySummary:
@@ -50,13 +53,19 @@ class _WindowedPwlGreedySummary:
             self.closed.append(ClosedPwlBucket.from_bucket(self.open))
             self.open = PwlBucket(index, value, hull_epsilon=self.hull_epsilon)
 
-    def expire(self, window_start: int) -> None:
+    def expire(self, window_start: int) -> int:
+        dropped = 0
         while self.closed and self.closed[0].end < window_start:
             self.closed.popleft()
+            dropped += 1
+        return dropped
 
-    def trim_to(self, max_buckets: int) -> None:
+    def trim_to(self, max_buckets: int) -> int:
+        dropped = 0
         while self.bucket_count > max_buckets and self.closed:
             self.closed.popleft()
+            dropped += 1
+        return dropped
 
     @property
     def bucket_count(self) -> int:
@@ -101,7 +110,9 @@ class SlidingWindowPwlMinIncrement:
     """(1 + eps, 1 + 1/B) piecewise-linear histogram over a sliding window.
 
     Parameters mirror :class:`~repro.core.sliding_window.SlidingWindowMinIncrement`
-    with the PWL-specific ``hull_epsilon`` of the open buckets.
+    with the PWL-specific ``hull_epsilon`` of the open buckets (unified
+    default :data:`~repro.core.interface.DEFAULT_HULL_EPSILON`) and the
+    opt-in ``metrics`` instrumentation hook.
     """
 
     def __init__(
@@ -111,9 +122,10 @@ class SlidingWindowPwlMinIncrement:
         universe: int,
         window: int,
         *,
-        hull_epsilon: Optional[float] = None,
+        hull_epsilon: Optional[float] = DEFAULT_HULL_EPSILON,
         include_zero_level: bool = True,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -125,13 +137,16 @@ class SlidingWindowPwlMinIncrement:
         self.epsilon = epsilon
         self.hull_epsilon = hull_epsilon
         self.ladder = ErrorLadder(
-            epsilon, universe, include_zero=include_zero_level
+            epsilon, universe, include_zero_level=include_zero_level
         )
         self._model = memory_model
         self._summaries = [
             _WindowedPwlGreedySummary(level, hull_epsilon) for level in self.ladder
         ]
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -145,10 +160,22 @@ class SlidingWindowPwlMinIncrement:
         self._n += 1
         window_start = self.window_start
         max_buckets = self.target_buckets + 1
+        m = self._metrics
+        if m is None:
+            for summary in self._summaries:
+                summary.insert(index, value)
+                summary.expire(window_start)
+                summary.trim_to(max_buckets)
+            return
+        start = perf_counter()
+        evicted = 0
         for summary in self._summaries:
             summary.insert(index, value)
-            summary.expire(window_start)
-            summary.trim_to(max_buckets)
+            evicted += summary.expire(window_start)
+            evicted += summary.trim_to(max_buckets)
+        if evicted:
+            m.on_evict(evicted)
+        m.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -161,6 +188,11 @@ class SlidingWindowPwlMinIncrement:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def window_start(self) -> int:

@@ -24,6 +24,7 @@ from repro.core.histogram import Histogram
 from repro.exceptions import InvalidParameterError
 from repro.harness.runner import make_algorithm
 from repro.metrics.errors import series_linf_distance
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 
 
 class StreamFleet:
@@ -37,6 +38,12 @@ class StreamFleet:
         Registry name of the summary type (default ``"min-merge"``).
     window:
         Window length for the sliding-window algorithms.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`.  Every
+        per-stream summary records into the *same* registry, so counters
+        aggregate across the fleet; gauges report fleet totals.  Removing
+        a stream counts as an eviction.
 
     Examples
     --------
@@ -56,6 +63,7 @@ class StreamFleet:
         epsilon: float = 0.2,
         universe: int = 1 << 15,
         window: Optional[int] = None,
+        metrics=None,
     ):
         self._config = {
             "buckets": buckets,
@@ -64,9 +72,20 @@ class StreamFleet:
             "window": window,
         }
         self._algorithm = algorithm
+        self._metrics = resolve_metrics(metrics)
         # Validate the configuration once, eagerly.
         make_algorithm(algorithm, **self._config)
         self._summaries: dict[Hashable, object] = {}
+        if self._metrics is not None:
+            self._bind_fleet_gauges()
+
+    def _bind_fleet_gauges(self) -> None:
+        """(Re)bind fleet-total gauges; fleet totals win over any
+        per-summary bindings made when a stream's summary was built."""
+        registry = self._metrics.registry
+        prefix = self._metrics.prefix
+        registry.gauge(prefix + "memory_bytes", source=self.memory_bytes)
+        registry.gauge(prefix + "streams", source=self.__len__)
 
     # -- stream management -----------------------------------------------
 
@@ -85,9 +104,15 @@ class StreamFleet:
         """Register a stream explicitly (insert registers implicitly too)."""
         if stream_id in self._summaries:
             raise InvalidParameterError(f"stream {stream_id!r} already exists")
-        self._summaries[stream_id] = make_algorithm(
-            self._algorithm, **self._config
-        )
+        if self._metrics is None:
+            summary = make_algorithm(self._algorithm, **self._config)
+        else:
+            summary = make_algorithm(
+                self._algorithm, metrics=self._metrics, **self._config
+            )
+        self._summaries[stream_id] = summary
+        if self._metrics is not None:
+            self._bind_fleet_gauges()
 
     def remove_stream(self, stream_id: Hashable) -> None:
         """Drop a stream and free its summary."""
@@ -97,6 +122,8 @@ class StreamFleet:
             raise InvalidParameterError(
                 f"unknown stream {stream_id!r}"
             ) from None
+        if self._metrics is not None:
+            self._metrics.on_evict()
 
     # -- ingestion ----------------------------------------------------------
 
@@ -144,9 +171,23 @@ class StreamFleet:
         """The current summary error of one stream."""
         return self._summary(stream_id).error
 
+    @property
+    def items_seen(self) -> int:
+        """Total values ingested across all streams."""
+        return sum(s.items_seen for s in self._summaries.values())
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Fleet-wide instrumentation facade, or ``None`` when off."""
+        return self._metrics
+
     def total_memory_bytes(self) -> int:
         """Accounted memory across all summaries."""
         return sum(s.memory_bytes() for s in self._summaries.values())
+
+    def memory_bytes(self) -> int:
+        """Alias for :meth:`total_memory_bytes` (StreamingSummary spelling)."""
+        return self.total_memory_bytes()
 
     def distance_bounds(self, first: Hashable, second: Hashable) -> tuple[float, float]:
         """Guaranteed ``(lower, upper)`` bounds on the L-inf distance."""

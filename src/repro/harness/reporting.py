@@ -28,6 +28,71 @@ def _format_cell(value) -> str:
     return str(value)
 
 
+def _render_table(title: str, header: list, rows: list) -> str:
+    body = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, *, title: str = "metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as aligned tables.
+
+    One table for counters, one for gauges, and one row per latency
+    recorder (count / mean / p50 / p90 / p99 / max in microseconds).
+    """
+    blocks = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        blocks.append(
+            _render_table(
+                f"{title}: counters",
+                ["counter", "value"],
+                sorted(counters.items()),
+            )
+        )
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        blocks.append(
+            _render_table(
+                f"{title}: gauges",
+                ["gauge", "value"],
+                sorted(gauges.items()),
+            )
+        )
+    latencies = snapshot.get("latencies") or {}
+    if latencies:
+        rows = [
+            [
+                name,
+                lat["count"],
+                lat["mean_us"],
+                lat["p50_us"],
+                lat["p90_us"],
+                lat["p99_us"],
+                lat["max_us"],
+            ]
+            for name, lat in sorted(latencies.items())
+        ]
+        blocks.append(
+            _render_table(
+                f"{title}: latencies (us)",
+                ["latency", "count", "mean", "p50", "p90", "p99", "max"],
+                rows,
+            )
+        )
+    if not blocks:
+        return f"{title}: (empty)"
+    return "\n\n".join(blocks)
+
+
 def render_series(series: Union[ExperimentSeries, Iterable[ExperimentSeries]]) -> str:
     """Render one series (or several) as aligned plain-text tables."""
     if isinstance(series, ExperimentSeries):

@@ -27,17 +27,86 @@ from repro.core.sliding_window import SlidingWindowMinIncrement
 from repro.core.sliding_window_pwl import SlidingWindowPwlMinIncrement
 from repro.exceptions import InvalidParameterError
 
+def _need_window(cfg: dict, name: str) -> int:
+    if cfg["window"] is None:
+        raise InvalidParameterError(
+            f"the {name} algorithm needs a window length"
+        )
+    return cfg["window"]
+
+
+def _make_min_merge(cfg):
+    return MinMergeHistogram(buckets=cfg["buckets"], metrics=cfg["metrics"])
+
+
+def _make_min_increment(cfg):
+    return MinIncrementHistogram(
+        buckets=cfg["buckets"], epsilon=cfg["epsilon"],
+        universe=cfg["universe"], metrics=cfg["metrics"],
+    )
+
+
+def _make_min_increment_batched(cfg):
+    return MinIncrementHistogram(
+        buckets=cfg["buckets"], epsilon=cfg["epsilon"],
+        universe=cfg["universe"], batch_size="auto", metrics=cfg["metrics"],
+    )
+
+
+def _make_rehist(cfg):
+    return RehistHistogram(
+        buckets=cfg["buckets"], epsilon=cfg["epsilon"],
+        universe=cfg["universe"], metrics=cfg["metrics"],
+    )
+
+
+def _make_pwl_min_merge(cfg):
+    return PwlMinMergeHistogram(
+        buckets=cfg["buckets"], hull_epsilon=cfg["hull_epsilon"],
+        metrics=cfg["metrics"],
+    )
+
+
+def _make_pwl_min_increment(cfg):
+    return PwlMinIncrementHistogram(
+        buckets=cfg["buckets"], epsilon=cfg["epsilon"],
+        universe=cfg["universe"], hull_epsilon=cfg["hull_epsilon"],
+        metrics=cfg["metrics"],
+    )
+
+
+def _make_sliding_window(cfg):
+    return SlidingWindowMinIncrement(
+        buckets=cfg["buckets"], epsilon=cfg["epsilon"],
+        universe=cfg["universe"],
+        window=_need_window(cfg, "sliding-window"), metrics=cfg["metrics"],
+    )
+
+
+def _make_sliding_window_pwl(cfg):
+    return SlidingWindowPwlMinIncrement(
+        buckets=cfg["buckets"], epsilon=cfg["epsilon"],
+        universe=cfg["universe"],
+        window=_need_window(cfg, "sliding-window-pwl"),
+        hull_epsilon=cfg["hull_epsilon"], metrics=cfg["metrics"],
+    )
+
+
+#: Registry mapping algorithm names to summary factories.  Each factory
+#: receives the normalized configuration dict of :func:`make_algorithm`.
+ALGORITHM_FACTORIES = {
+    "min-merge": _make_min_merge,
+    "min-increment": _make_min_increment,
+    "min-increment-batched": _make_min_increment_batched,
+    "rehist": _make_rehist,
+    "pwl-min-merge": _make_pwl_min_merge,
+    "pwl-min-increment": _make_pwl_min_increment,
+    "sliding-window": _make_sliding_window,
+    "sliding-window-pwl": _make_sliding_window_pwl,
+}
+
 #: Algorithm registry names accepted by :func:`make_algorithm`.
-ALGORITHM_NAMES = (
-    "min-merge",
-    "min-increment",
-    "min-increment-batched",
-    "rehist",
-    "pwl-min-merge",
-    "pwl-min-increment",
-    "sliding-window",
-    "sliding-window-pwl",
-)
+ALGORITHM_NAMES = tuple(ALGORITHM_FACTORIES)
 
 
 @dataclass(frozen=True)
@@ -50,6 +119,7 @@ class RunResult:
     memory_bytes: int
     error: float
     buckets: Optional[int]
+    metrics: Optional[dict] = None
 
     @property
     def items_per_second(self) -> float:
@@ -67,57 +137,42 @@ def make_algorithm(
     universe: int = 1 << 15,
     window: Optional[int] = None,
     hull_epsilon: Optional[float] = 0.1,
+    metrics=None,
 ):
     """Build a fresh summary by registry name.
 
-    ``window`` is only consulted by ``"sliding-window"``; ``hull_epsilon``
-    only by the PWL algorithms.
+    ``window`` is only consulted by the sliding-window algorithms;
+    ``hull_epsilon`` only by the PWL algorithms.  ``metrics`` opts the
+    summary into instrumentation (``True``, a shared
+    :class:`~repro.observability.MetricsRegistry`, or a
+    :class:`~repro.observability.SummaryMetrics`; see
+    ``docs/OBSERVABILITY.md``).
     """
-    if name == "min-merge":
-        return MinMergeHistogram(buckets=buckets)
-    if name == "min-increment":
-        return MinIncrementHistogram(
-            buckets=buckets, epsilon=epsilon, universe=universe
+    factory = ALGORITHM_FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(ALGORITHM_NAMES)
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; known algorithms: {known}"
         )
-    if name == "min-increment-batched":
-        return MinIncrementHistogram(
-            buckets=buckets, epsilon=epsilon, universe=universe,
-            batch_size="auto",
-        )
-    if name == "rehist":
-        return RehistHistogram(buckets=buckets, epsilon=epsilon, universe=universe)
-    if name == "pwl-min-merge":
-        return PwlMinMergeHistogram(buckets=buckets, hull_epsilon=hull_epsilon)
-    if name == "pwl-min-increment":
-        return PwlMinIncrementHistogram(
-            buckets=buckets, epsilon=epsilon, universe=universe,
-            hull_epsilon=hull_epsilon,
-        )
-    if name == "sliding-window":
-        if window is None:
-            raise InvalidParameterError(
-                "the sliding-window algorithm needs a window length"
-            )
-        return SlidingWindowMinIncrement(
-            buckets=buckets, epsilon=epsilon, universe=universe, window=window
-        )
-    if name == "sliding-window-pwl":
-        if window is None:
-            raise InvalidParameterError(
-                "the sliding-window-pwl algorithm needs a window length"
-            )
-        return SlidingWindowPwlMinIncrement(
-            buckets=buckets, epsilon=epsilon, universe=universe,
-            window=window, hull_epsilon=hull_epsilon,
-        )
-    known = ", ".join(ALGORITHM_NAMES)
-    raise InvalidParameterError(
-        f"unknown algorithm {name!r}; known algorithms: {known}"
-    )
+    cfg = {
+        "buckets": buckets,
+        "epsilon": epsilon,
+        "universe": universe,
+        "window": window,
+        "hull_epsilon": hull_epsilon,
+        "metrics": metrics,
+    }
+    return factory(cfg)
 
 
-def run_stream(algorithm, values: Sequence, *, name: Optional[str] = None) -> RunResult:
-    """Stream ``values`` through ``algorithm`` and measure the outcome."""
+def run_stream(
+    algorithm, values: Sequence, *, name: Optional[str] = None
+) -> RunResult:
+    """Stream ``values`` through ``algorithm`` and measure the outcome.
+
+    When the summary is instrumented (``metrics=`` at construction), the
+    result carries a snapshot of its registry in ``RunResult.metrics``.
+    """
     label = name if name is not None else type(algorithm).__name__
     start = time.perf_counter()
     algorithm.extend(values)
@@ -131,6 +186,7 @@ def run_stream(algorithm, values: Sequence, *, name: Optional[str] = None) -> Ru
     except TypeError:
         # REHIST materializes histograms only from the original values.
         buckets = len(algorithm.histogram(values))
+    summary_metrics = getattr(algorithm, "metrics", None)
     return RunResult(
         algorithm=label,
         items=len(values),
@@ -138,4 +194,7 @@ def run_stream(algorithm, values: Sequence, *, name: Optional[str] = None) -> Ru
         memory_bytes=algorithm.memory_bytes(),
         error=algorithm.error,
         buckets=buckets,
+        metrics=(
+            summary_metrics.snapshot() if summary_metrics is not None else None
+        ),
     )

@@ -16,11 +16,13 @@ the paper's L-infinity focus.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.core.histogram import Histogram, Segment
 from repro.exceptions import EmptySummaryError, InvalidParameterError
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.structures.heap import AddressableMinHeap
 from repro.structures.linked_list import BucketList, BucketNode
 
@@ -74,37 +76,62 @@ class L2MergeHistogram:
     Parameters
     ----------
     buckets:
-        Working bucket budget (kept exactly, no doubling -- there is no
-        (1, 2)-style theorem to buy with the extra space).
+        Working bucket budget (kept exactly by default, no doubling --
+        there is no (1, 2)-style theorem to buy with the extra space).
+    working_buckets:
+        Override for the working budget (defaults to ``buckets``),
+        mirroring the merge-family keyword of the core summaries.
     memory_model:
         Cost model used by :meth:`memory_bytes`; each bucket is charged
         5 words (beg, end, count, sum, sumsq) plus its heap key.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
         self,
         buckets: int,
         *,
+        working_buckets: Optional[int] = None,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        if working_buckets is None:
+            working_buckets = buckets
+        if working_buckets < 1:
+            raise InvalidParameterError(
+                f"working_buckets must be >= 1, got {working_buckets}"
+            )
         self.target_buckets = buckets
+        self.working_buckets = working_buckets
         self._model = memory_model
         self._list = BucketList()
         self._heap = AddressableMinHeap()
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     # -- ingestion ---------------------------------------------------------
 
     def insert(self, value) -> None:
         """Process the next stream value."""
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
         node = self._list.append(_L2Bucket(self._n, value))
         if node.prev is not None:
             self._push_pair_key(node.prev)
-        if len(self._list) > self.target_buckets:
+        if len(self._list) > self.working_buckets:
             self._merge_min_pair()
+            if observe:
+                self._metrics.on_merge()
         self._n += 1
+        if observe:
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -119,6 +146,11 @@ class L2MergeHistogram:
         return self._n
 
     @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
+
+    @property
     def bucket_count(self) -> int:
         """Current number of buckets."""
         return len(self._list)
@@ -129,6 +161,16 @@ class L2MergeHistogram:
         if not self._list:
             raise EmptySummaryError("no values inserted yet")
         return sum(node.bucket.sse for node in self._list)
+
+    @property
+    def error(self) -> float:
+        """Alias for :attr:`total_sse` (the summary's L2 objective).
+
+        Exposed so the class satisfies the
+        :class:`~repro.core.interface.StreamingSummary` protocol; note the
+        metric is the *summed* SSE, not a per-bucket maximum.
+        """
+        return self.total_sse
 
     def histogram(self) -> Histogram:
         """The current piecewise-constant approximation.

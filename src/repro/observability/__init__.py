@@ -1,0 +1,33 @@
+"""Runtime telemetry for the streaming summaries (see docs/OBSERVABILITY.md).
+
+Opt-in, zero-dependency instrumentation: construct any summary with
+``metrics=True`` and read ``summary.metrics.snapshot()``::
+
+    from repro import MinIncrementHistogram
+
+    summary = MinIncrementHistogram(
+        buckets=32, epsilon=0.2, universe=1 << 15, metrics=True
+    )
+    summary.extend(stream)
+    print(summary.metrics.to_json(indent=2))
+
+Summaries built without ``metrics`` pay a single ``is None`` test per
+insert (guarded by ``benchmarks/bench_observability_overhead.py``).
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    LatencyRecorder,
+    MetricsRegistry,
+)
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "SummaryMetrics",
+    "resolve_metrics",
+]

@@ -19,6 +19,7 @@ union).  Guarantees:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
 from repro.core.histogram import Histogram, Segment
@@ -28,6 +29,7 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.memory.model import DEFAULT_MODEL, MemoryModel
+from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.relative.bucket import RelativeBucket, relative_error_ladder
 from repro.structures.heap import AddressableMinHeap
 from repro.structures.linked_list import BucketList, BucketNode
@@ -40,28 +42,46 @@ class RelativeMinMergeHistogram:
     ----------
     buckets:
         Target bucket count ``B``; up to ``2 * B`` working buckets.
+    working_buckets:
+        Override for the working budget (defaults to ``2 * buckets``),
+        mirroring the absolute-error merge family.
     sanity:
         The denominator floor ``c`` of the relative metric.
     memory_model:
         Cost model used by :meth:`memory_bytes`.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
         self,
         buckets: int,
         *,
+        working_buckets: Optional[int] = None,
         sanity: float = 1.0,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        if working_buckets is None:
+            working_buckets = 2 * buckets
+        if working_buckets < 1:
+            raise InvalidParameterError(
+                f"working_buckets must be >= 1, got {working_buckets}"
+            )
         self.target_buckets = buckets
-        self.working_buckets = 2 * buckets
+        self.working_buckets = working_buckets
         self.sanity = sanity
         self._model = memory_model
         self._list = BucketList()
         self._heap = AddressableMinHeap()
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     def insert(self, value) -> None:
         """Process the next stream value."""
@@ -69,6 +89,8 @@ class RelativeMinMergeHistogram:
             raise DomainError(
                 f"relative-error histograms need non-negative values, got {value}"
             )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
         node = self._list.append(
             RelativeBucket.singleton(self._n, value, sanity=self.sanity)
         )
@@ -76,7 +98,11 @@ class RelativeMinMergeHistogram:
             self._push_pair_key(node.prev)
         if len(self._list) > self.working_buckets:
             self._merge_min_pair()
+            if observe:
+                self._metrics.on_merge()
         self._n += 1
+        if observe:
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -87,6 +113,11 @@ class RelativeMinMergeHistogram:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def bucket_count(self) -> int:
@@ -203,6 +234,10 @@ class RelativeMinIncrementHistogram:
         As in :class:`~repro.core.min_increment.MinIncrementHistogram`.
     sanity:
         Denominator floor ``c`` of the relative metric.
+    metrics:
+        Opt-in instrumentation: ``True`` for a private registry, or a
+        shared :class:`~repro.observability.MetricsRegistry`; default off
+        (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -213,6 +248,7 @@ class RelativeMinIncrementHistogram:
         *,
         sanity: float = 1.0,
         memory_model: MemoryModel = DEFAULT_MODEL,
+        metrics=None,
     ):
         if buckets < 1:
             raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
@@ -226,6 +262,9 @@ class RelativeMinIncrementHistogram:
             _RelativeGreedySummary(level, sanity) for level in self._levels
         ]
         self._n = 0
+        self._metrics = resolve_metrics(metrics)
+        if self._metrics is not None:
+            self._metrics.bind_gauges(self)
 
     def insert(self, value) -> None:
         """Process the next stream value."""
@@ -233,14 +272,27 @@ class RelativeMinIncrementHistogram:
             raise DomainError(
                 f"value {value!r} outside universe [0, {self.universe})"
             )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
+        best = self._summaries[0]
+        best_buckets = best.bucket_count if observe else 0
         self._n += 1
         limit = self.target_buckets
         survivors = []
+        dead = 0
         for summary in self._summaries:
             summary.insert(value)
             if summary.bucket_count <= limit or summary is self._summaries[-1]:
                 survivors.append(summary)
+            else:
+                dead += 1
         self._summaries = survivors
+        if observe:
+            if dead:
+                self._metrics.on_promotion(dead)
+            if survivors[0] is best and best.bucket_count == best_buckets:
+                self._metrics.on_merge()
+            self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
         """Insert every value of an iterable, in order."""
@@ -251,6 +303,11 @@ class RelativeMinIncrementHistogram:
     def items_seen(self) -> int:
         """Number of stream values processed so far."""
         return self._n
+
+    @property
+    def metrics(self) -> Optional[SummaryMetrics]:
+        """Instrumentation facade, or ``None`` when not instrumented."""
+        return self._metrics
 
     @property
     def alive_levels(self) -> list[float]:

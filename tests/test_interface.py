@@ -1,0 +1,214 @@
+"""Conformance tests for the unified StreamingSummary protocol."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import summarize
+from repro.baselines.rehist import RehistHistogram
+from repro.core import DEFAULT_HULL_EPSILON, StreamingSummary, conforms
+from repro.core.error_ladder import ErrorLadder
+from repro.core.greedy_insert import GreedyInsertSummary
+from repro.core.interface import missing_members
+from repro.core.min_increment import MinIncrementHistogram
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_increment import (
+    PwlGreedyInsertSummary,
+    PwlMinIncrementHistogram,
+)
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.core.sliding_window import SlidingWindowMinIncrement
+from repro.core.sliding_window_pwl import SlidingWindowPwlMinIncrement
+from repro.exceptions import InvalidParameterError
+from repro.fleet import StreamFleet
+from repro.l2.merge import L2MergeHistogram
+from repro.relative.algorithms import (
+    RelativeMinIncrementHistogram,
+    RelativeMinMergeHistogram,
+)
+
+U = 1 << 12
+
+# (class, factory) for every public summary type the protocol covers.
+SUMMARY_FACTORIES = [
+    (MinMergeHistogram, lambda: MinMergeHistogram(buckets=4)),
+    (
+        MinIncrementHistogram,
+        lambda: MinIncrementHistogram(buckets=4, epsilon=0.2, universe=U),
+    ),
+    (GreedyInsertSummary, lambda: GreedyInsertSummary(target_error=2.0)),
+    (PwlMinMergeHistogram, lambda: PwlMinMergeHistogram(buckets=4)),
+    (
+        PwlMinIncrementHistogram,
+        lambda: PwlMinIncrementHistogram(buckets=4, epsilon=0.2, universe=U),
+    ),
+    (
+        PwlGreedyInsertSummary,
+        lambda: PwlGreedyInsertSummary(target_error=2.0),
+    ),
+    (
+        SlidingWindowMinIncrement,
+        lambda: SlidingWindowMinIncrement(
+            buckets=4, epsilon=0.2, universe=U, window=32
+        ),
+    ),
+    (
+        SlidingWindowPwlMinIncrement,
+        lambda: SlidingWindowPwlMinIncrement(
+            buckets=4, epsilon=0.2, universe=U, window=32
+        ),
+    ),
+    (
+        RehistHistogram,
+        lambda: RehistHistogram(buckets=4, epsilon=0.2, universe=U),
+    ),
+    (
+        RelativeMinMergeHistogram,
+        lambda: RelativeMinMergeHistogram(buckets=4),
+    ),
+    (
+        RelativeMinIncrementHistogram,
+        lambda: RelativeMinIncrementHistogram(buckets=4, epsilon=0.2, universe=U),
+    ),
+    (L2MergeHistogram, lambda: L2MergeHistogram(buckets=4)),
+    (StreamFleet, lambda: StreamFleet(buckets=4)),
+]
+
+IDS = [cls.__name__ for cls, _ in SUMMARY_FACTORIES]
+
+
+class TestConformance:
+    @pytest.mark.parametrize("cls,factory", SUMMARY_FACTORIES, ids=IDS)
+    def test_class_declares_every_member(self, cls, factory):
+        assert missing_members(cls) == [], (
+            f"{cls.__name__} is missing protocol members"
+        )
+        assert conforms(cls)
+
+    @pytest.mark.parametrize("cls,factory", SUMMARY_FACTORIES, ids=IDS)
+    def test_populated_instance_is_a_streaming_summary(self, cls, factory):
+        summary = factory()
+        if cls is StreamFleet:
+            for value in (1, 5, 9, 2):
+                summary.insert("s", value)
+        else:
+            summary.extend([1, 5, 9, 2])
+        assert isinstance(summary, StreamingSummary)
+
+    @pytest.mark.parametrize("cls,factory", SUMMARY_FACTORIES, ids=IDS)
+    def test_uninstrumented_metrics_is_none(self, cls, factory):
+        summary = factory()
+        if cls in (GreedyInsertSummary, PwlGreedyInsertSummary):
+            # Leaf summaries always report None (parents do the accounting).
+            assert summary.metrics is None
+        else:
+            assert summary.metrics is None
+
+    def test_non_summary_class_does_not_conform(self):
+        class NotASummary:
+            def insert(self, value):
+                pass
+
+        assert not conforms(NotASummary)
+        assert "histogram" in missing_members(NotASummary)
+
+
+class TestUnifiedKwargs:
+    def test_default_hull_epsilon_is_shared(self):
+        assert PwlMinMergeHistogram(buckets=4).hull_epsilon == DEFAULT_HULL_EPSILON
+        assert (
+            PwlMinIncrementHistogram(
+                buckets=4, epsilon=0.2, universe=U
+            ).hull_epsilon
+            == DEFAULT_HULL_EPSILON
+        )
+        assert (
+            SlidingWindowPwlMinIncrement(
+                buckets=4, epsilon=0.2, universe=U, window=16
+            ).hull_epsilon
+            == DEFAULT_HULL_EPSILON
+        )
+
+    def test_working_buckets_override_across_merge_family(self):
+        assert MinMergeHistogram(buckets=4).working_buckets == 8
+        assert MinMergeHistogram(buckets=4, working_buckets=5).working_buckets == 5
+        assert PwlMinMergeHistogram(buckets=4).working_buckets == 8
+        assert RelativeMinMergeHistogram(buckets=4).working_buckets == 8
+        assert (
+            RelativeMinMergeHistogram(buckets=4, working_buckets=6).working_buckets
+            == 6
+        )
+        # L2 has no (1, 2) theorem to buy, so its default is no doubling.
+        assert L2MergeHistogram(buckets=4).working_buckets == 4
+        assert L2MergeHistogram(buckets=4, working_buckets=9).working_buckets == 9
+
+    def test_include_zero_deprecated_spelling_still_works(self):
+        with pytest.warns(DeprecationWarning, match="include_zero_level"):
+            ladder = ErrorLadder(0.2, 1024, include_zero=False)
+        assert ladder[0] != 0.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ladder = ErrorLadder(0.2, 1024, include_zero_level=False)
+        assert ladder[0] != 0.0
+
+
+class TestSummarizeRegistry:
+    def test_registry_and_derived_method_tuple(self):
+        from repro import api
+
+        assert set(api.SUMMARIZE_METHODS) == set(api.ALGORITHM_REGISTRY)
+        # The tuple is derived: registering a method is reflected.
+        api.ALGORITHM_REGISTRY["test-echo"] = (
+            lambda values, buckets, epsilon: None
+        )
+        try:
+            assert "test-echo" in api.SUMMARIZE_METHODS
+        finally:
+            del api.ALGORITHM_REGISTRY["test-echo"]
+        assert "test-echo" not in api.SUMMARIZE_METHODS
+
+    def test_all_registered_names_dispatch(self):
+        from repro import api
+
+        values = [1, 5, 9, 2, 7, 7, 3, 8]
+        for name in api.SUMMARIZE_METHODS:
+            hist = summarize(values, buckets=3, method=name)
+            assert len(hist) >= 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown method"):
+            summarize([1, 2, 3], buckets=2, method="nope")
+
+    def test_summary_class_as_method(self):
+        values = [1, 1, 1, 9, 9, 9]
+        hist = summarize(values, buckets=2, method=MinMergeHistogram)
+        assert hist.error == 0.0
+        hist = summarize(values, buckets=2, method=MinIncrementHistogram)
+        assert len(hist) <= 2
+
+    def test_unconstructible_class_reports_cleanly(self):
+        class Weird:
+            def __init__(self, mandatory):
+                pass
+
+        with pytest.raises(InvalidParameterError, match="cannot construct"):
+            summarize([1, 2, 3], buckets=2, method=Weird)
+
+
+class TestIteratorInputs:
+    def test_summarize_accepts_a_generator(self):
+        hist = summarize((v for v in [1, 5, 9, 2, 7]), buckets=2)
+        assert len(hist) <= 2
+
+    def test_summarize_accepts_an_iterator_for_every_method(self):
+        from repro import api
+
+        for name in api.SUMMARIZE_METHODS:
+            hist = summarize(iter([4, 4, 8, 8, 1, 1]), buckets=2, method=name)
+            assert len(hist) >= 1
+
+    def test_empty_generator_rejected(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            summarize((v for v in []), buckets=2)
