@@ -1,11 +1,13 @@
 # Developer entry points.  `make check` is the pre-merge gate: the full
 # tier-1 test suite plus the observability overhead guard (which fails if
 # disabled instrumentation slows ingestion by more than its budget).
+# `make lint` needs ruff (`pip install -e .[lint]`) and degrades to a
+# no-op with a notice where it is not installed (CI always installs it).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard check bench
+.PHONY: test overhead-guard lint check bench bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,7 +15,20 @@ test:
 overhead-guard:
 	$(PYTHON) benchmarks/bench_observability_overhead.py
 
-check: test overhead-guard
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks && \
+		ruff format --check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (pip install -e .[lint])"; \
+	fi
+
+check: lint test overhead-guard
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q
+	$(PYTHON) benchmarks/bench_batch_ingest.py --smoke \
+		--json BENCH_PR.json --min-speedup 2.0

@@ -120,7 +120,7 @@ def plan_summary(
                 + model.ladder_entries(ladder_levels)
             ),
             notes=(
-                f"budget sized for target/(1+eps); worst case over "
+                "budget sized for target/(1+eps); worst case over "
                 f"{ladder_levels} ladder levels (live usage is usually far "
                 "lower as levels die)"
             ),

@@ -25,6 +25,8 @@ from __future__ import annotations
 import inspect
 from typing import Sequence, Union
 
+import numpy as np
+
 from repro.core.histogram import Histogram
 from repro.core.min_increment import MinIncrementHistogram
 from repro.core.min_merge import MinMergeHistogram
@@ -125,7 +127,8 @@ def summarize(
     values:
         The full sequence (non-negative numbers; integer sequences get
         exact guarantees).  Iterators and generators are accepted and
-        materialized once.
+        materialized once.  NumPy arrays are used as-is -- never copied --
+        and flow through the vectorized batch-ingest path.
     buckets:
         Bucket budget ``B``.  ``"min-merge"`` returns up to ``2 B``
         buckets (that is its theorem); every other method stays within
@@ -164,8 +167,14 @@ def summarize(
 
 def _universe_for(values: Sequence) -> int:
     """Smallest valid universe covering the observed values."""
-    top = max(values)
-    low = min(values)
+    if isinstance(values, np.ndarray):
+        # Vectorized reduction: iterating an ndarray with builtin max()
+        # boxes every element into a NumPy scalar.
+        top = values.max()
+        low = values.min()
+    else:
+        top = max(values)
+        low = min(values)
     if low < 0:
         raise InvalidParameterError(
             "the ladder-based methods need non-negative values; shift the "

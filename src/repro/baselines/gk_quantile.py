@@ -17,7 +17,6 @@ rank-accurate within ``eps * n`` and space is O(eps^-1 log(eps n)).
 
 from __future__ import annotations
 
-from bisect import insort
 from time import perf_counter
 from typing import Iterable, Optional
 

@@ -37,6 +37,8 @@ import math
 from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.core.histogram import Histogram, Segment
 from repro.exceptions import (
     DomainError,
@@ -193,7 +195,14 @@ class RehistHistogram:
             self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
+        """Insert every value of an iterable, in order.
+
+        REHIST's DP sweep is inherently per-item, so there is no
+        vectorized path; ndarrays are unboxed once up front to avoid
+        iterating NumPy scalars through the Python loop.
+        """
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
         for value in values:
             self.insert(value)
 

@@ -26,8 +26,6 @@ constructor arguments; algorithm state round-trips exactly either way
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.core.bucket import Bucket
 from repro.core.greedy_insert import GreedyInsertSummary
 from repro.core.min_increment import MinIncrementHistogram

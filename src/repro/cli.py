@@ -200,7 +200,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "fig5":
         print(render_series(experiments.fig5_memory_vs_buckets(paper_scale=args.paper)))
     elif args.command == "fig6":
-        print(render_series(experiments.fig6_memory_vs_stream_size(paper_scale=args.paper)))
+        series = experiments.fig6_memory_vs_stream_size(paper_scale=args.paper)
+        print(render_series(series))
     elif args.command == "fig7":
         print(render_series(experiments.fig7_error_vs_buckets(paper_scale=args.paper)))
     elif args.command == "fig8":
@@ -226,7 +227,7 @@ def _cmd_plan(args: argparse.Namespace) -> str:
     lines = [
         f"sample      : {args.dataset} ({plan.sample_size:,} points)",
         f"target error: {plan.target_error:g}",
-        f"buckets needed (offline duals): serial "
+        "buckets needed (offline duals): serial "
         f"{plan.serial_buckets_needed}, PWL {plan.pwl_buckets_needed}",
         "",
         f"{'algorithm':<20}{'buckets':>8}{'memory(B)':>11}  notes",

@@ -78,7 +78,7 @@ def merge_min_merge_summaries(
             offset = covered - first
         elif expected_next is not None and first != expected_next:
             raise InvalidParameterError(
-                f"summaries are not contiguous: expected next index "
+                "summaries are not contiguous: expected next index "
                 f"{expected_next}, got {first} (pass reindex=True for "
                 "independently-indexed children)"
             )
@@ -119,7 +119,7 @@ def merge_pwl_summaries(
             offset = covered - first
         elif expected_next is not None and first != expected_next:
             raise InvalidParameterError(
-                f"summaries are not contiguous: expected next index "
+                "summaries are not contiguous: expected next index "
                 f"{expected_next}, got {first} (pass reindex=True for "
                 "independently-indexed children)"
             )

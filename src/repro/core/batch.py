@@ -1,0 +1,297 @@
+"""Vectorized batch-ingest kernels (chunked pre-aggregation).
+
+The summaries' scalar ``insert()`` is a per-item Python loop -- correct,
+but far from stream rate.  This module supplies the NumPy kernels behind
+the batched ``extend()`` overrides: a contiguous chunk is pre-reduced into
+per-prospective-bucket ``(min, max, count)`` runs in O(chunk) vectorized
+time, and each run is fed to the existing merge/increment state machines
+through the O(1) ``insert_run(beg, end, lo, hi)`` primitive.
+
+Everything here is *exact*: the kernels replay the very same float
+comparisons the scalar code paths make, so batch and scalar ingestion
+produce identical bucket state (property-tested in ``tests/test_batch.py``).
+The exactness arguments, per family:
+
+* GREEDY-INSERT -- bucket error is the half-range, which is monotone under
+  absorption, so if a whole run fits in the open bucket then every prefix
+  fits; the greedy boundary is the first index where the running half-range
+  exceeds the target (:func:`absorbable_prefix`).
+* MIN-MERGE -- at steady state the arriving singleton is absorbed into the
+  tail exactly when its pair key is the strict heap minimum; the kernel
+  checks that per-step condition against the static minimum of the
+  untouched keys plus the evolving (prev, tail) key.
+* PWL -- a PWL bucket's line-fit error is at most half its hull's vertical
+  extent, so the serial half-range boundary is a certificate that
+  ``try_add`` would succeed; certified points are bulk-added to the hull
+  with the same mutation sequence the scalar path performs.
+
+Inputs that cannot be coerced to a 1-D numeric array (object dtypes,
+NaNs, generators) fall back to the scalar loop; rough streams where the
+vectorized runs degenerate to a handful of items switch to a scalar block
+as well, so batch ingestion never loses to ``insert()`` by more than a
+small constant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+
+#: Upper bound on the items a single kernel window examines at once; keeps
+#: the temporary accumulate arrays cache-sized no matter the chunk length.
+MAX_WINDOW = 1 << 16
+
+#: Number of consecutive short vectorized runs after which a greedy driver
+#: degrades to a scalar block (the stream is too rough to amortize the
+#: per-call NumPy overhead).
+_DEGRADE_AFTER = 8
+
+#: Items handled by one degraded scalar block before retrying the kernel.
+_DEGRADE_BLOCK = 512
+
+_START_WINDOW = 64
+
+
+def as_batch_array(values) -> Optional[np.ndarray]:
+    """Coerce ``values`` to a 1-D numeric ndarray, or return ``None``.
+
+    ``None`` means "not batchable" and the caller must use the scalar
+    insert loop: non-sequences (generators), object dtypes, booleans, and
+    float arrays containing NaN (whose comparison semantics differ from
+    the scalar path) are all rejected.  ndarray input is returned as-is --
+    no copy -- so callers can batch without materializing twice.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values
+    elif isinstance(values, (list, tuple)):
+        if not values:
+            return np.empty(0)
+        try:
+            arr = np.asarray(values)
+        except (ValueError, TypeError):
+            return None
+    else:
+        return None
+    if arr.ndim != 1 or arr.dtype.kind not in "iuf":
+        return None
+    if arr.dtype.kind == "f" and bool(np.isnan(arr).any()):
+        return None
+    return arr
+
+
+def absorbable_prefix(
+    lo_vals: np.ndarray,
+    hi_vals: np.ndarray,
+    start: int,
+    lo,
+    hi,
+    target: float,
+    *,
+    inclusive: bool = True,
+):
+    """Longest prefix of ``[start:]`` whose running half-range stays in budget.
+
+    ``lo_vals[t]`` / ``hi_vals[t]`` bound item ``t`` (they are the same
+    array for raw values, per-group minima/maxima for pre-reduced groups).
+    The running bounds are seeded with ``lo`` / ``hi`` -- the open bucket's
+    current extremes.  Returns ``(stop, lo, hi)`` where ``stop`` is the
+    first index whose absorption pushes ``(hi - lo) / 2.0`` past ``target``
+    (``len`` when none does) and ``lo`` / ``hi`` are the combined bounds
+    after absorbing everything before ``stop``.
+
+    With ``inclusive`` (the greedy rule) a half-range *equal* to the target
+    is still absorbed; the strict variant is what the MIN-MERGE fast path
+    needs.  The float comparisons are exactly those of
+    :meth:`Bucket.would_extend_error` against the target, so the boundary
+    matches the scalar code bit for bit.
+    """
+    n = len(lo_vals)
+    j = start
+    window = _START_WINDOW
+    while j < n:
+        ehi = np.maximum.accumulate(hi_vals[j : j + window])
+        elo = np.minimum.accumulate(lo_vals[j : j + window])
+        ehi = np.maximum(ehi, hi)
+        elo = np.minimum(elo, lo)
+        err = (ehi - elo) / 2.0
+        bad = err >= target if not inclusive else err > target
+        stop = int(np.argmax(bad))
+        if bad[stop]:
+            if stop == 0:
+                return j, lo, hi
+            return j + stop, elo[stop - 1].item(), ehi[stop - 1].item()
+        lo = elo[-1].item()
+        hi = ehi[-1].item()
+        j += len(ehi)
+        window = min(window * 2, MAX_WINDOW)
+    return n, lo, hi
+
+
+def greedy_chunk(
+    arr: np.ndarray,
+    base: int,
+    open_: Optional[Bucket],
+    closed_append,
+    target: float,
+    *,
+    stop_after: Optional[int] = None,
+    bucket_count: int = 0,
+) -> tuple[Optional[Bucket], int]:
+    """Replay GREEDY-INSERT over ``arr`` with vectorized run absorption.
+
+    ``base`` is the absolute stream index of ``arr[0]``; ``open_`` is the
+    summary's current open bucket (or ``None``) and ``closed_append``
+    receives each bucket the greedy closes.  Returns ``(open, consumed)``.
+
+    ``stop_after`` implements MIN-INCREMENT's early exit: once the summary
+    holds more than that many buckets it is dead (Lemma 2) and will be
+    discarded, so the remaining items are unobservable and processing may
+    stop -- ``consumed`` is then less than ``len(arr)``.  ``bucket_count``
+    must be the summary's bucket count on entry when ``stop_after`` is
+    used.
+    """
+    n = len(arr)
+    i = 0
+    short = 0
+    block = _DEGRADE_BLOCK
+    while i < n:
+        if stop_after is not None and bucket_count > stop_after:
+            break
+        if open_ is None:
+            open_ = Bucket.singleton(base + i, arr[i].item())
+            bucket_count += 1
+            i += 1
+            continue
+        if short >= _DEGRADE_AFTER:
+            # Persistently short runs: fall back to the scalar loop over a
+            # block, unboxed once via tolist().  The block grows each time
+            # the kernel probe fails again, so a stream too rough to
+            # vectorize converges to plain scalar speed.
+            short = 0
+            stop = min(n, i + block)
+            if block < MAX_WINDOW:
+                block *= 8
+            for v in arr[i:stop].tolist():
+                if open_.would_extend_error(v) <= target:
+                    open_.extend(v)
+                else:
+                    closed_append(open_)
+                    open_ = Bucket.singleton(base + i, v)
+                    bucket_count += 1
+                    if stop_after is not None and bucket_count > stop_after:
+                        i += 1
+                        break
+                i += 1
+            continue
+        j, lo, hi = absorbable_prefix(arr, arr, i, open_.min, open_.max, target)
+        run = j - i
+        if run:
+            open_.insert_run(open_.end + 1, open_.end + run, lo, hi)
+            i = j
+        if run < 4:
+            short += 1
+        else:
+            short = 0
+            block = _DEGRADE_BLOCK
+        if j < n:
+            closed_append(open_)
+            open_ = Bucket.singleton(base + j, arr[j].item())
+            bucket_count += 1
+            i = j + 1
+    return open_, i
+
+
+def pwl_greedy_chunk(
+    arr: np.ndarray,
+    base: int,
+    open_,
+    closed_append,
+    target: float,
+    hull_epsilon: Optional[float],
+    *,
+    stop_after: Optional[int] = None,
+    bucket_count: int = 0,
+) -> tuple:
+    """PWL analogue of :func:`greedy_chunk` (vectorized hull-point batching).
+
+    The kernel certifies a run of points via the half-range bound -- a PWL
+    bucket's fit error is at most half its hull's vertical extent, so while
+    the running extent stays within ``2 * target`` every ``try_add`` is
+    guaranteed to succeed and the points are bulk-added to the hull (same
+    mutation sequence as the scalar path, including ``maybe_compress``
+    timing for size-capped hulls).  Boundary points where the certificate
+    fails go through the real ``try_add``, which may still succeed on
+    slope-following data; persistent certificate misses degrade to a
+    scalar ``try_add`` block.
+    """
+    from repro.core.pwl_bucket import ClosedPwlBucket, PwlBucket
+
+    n = len(arr)
+    i = 0
+    short = 0
+    block = _DEGRADE_BLOCK
+    ylo = yhi = None
+    while i < n:
+        if stop_after is not None and bucket_count > stop_after:
+            break
+        if open_ is None:
+            open_ = PwlBucket(base + i, arr[i].item(), hull_epsilon=hull_epsilon)
+            bucket_count += 1
+            ylo = yhi = arr[i].item()
+            i += 1
+            continue
+        if ylo is None:
+            ylo, yhi = open_.hull.y_extent()
+        if short >= _DEGRADE_AFTER:
+            # Same sticky scalar-block fallback as greedy_chunk.
+            short = 0
+            stop = min(n, i + block)
+            if block < MAX_WINDOW:
+                block *= 8
+            broke = False
+            for v in arr[i:stop].tolist():
+                if not open_.try_add(v, target):
+                    closed_append(ClosedPwlBucket.from_bucket(open_))
+                    open_ = PwlBucket(base + i, v, hull_epsilon=hull_epsilon)
+                    bucket_count += 1
+                    ylo = yhi = v
+                    i += 1
+                    if stop_after is not None and bucket_count > stop_after:
+                        broke = True
+                        break
+                else:
+                    ylo = v if v < ylo else ylo
+                    yhi = v if v > yhi else yhi
+                    i += 1
+            if broke:
+                break
+            continue
+        j, ylo, yhi = absorbable_prefix(arr, arr, i, ylo, yhi, target)
+        run = j - i
+        if run <= 2:
+            for t in range(i, j):
+                open_.add(arr[t].item())
+        else:
+            for v in arr[i:j].tolist():
+                open_.add(v)
+        i = j
+        if run < 4:
+            short += 1
+        else:
+            short = 0
+            block = _DEGRADE_BLOCK
+        if j < n:
+            v = arr[j].item()
+            if open_.try_add(v, target):
+                ylo = v if v < ylo else ylo
+                yhi = v if v > yhi else yhi
+            else:
+                closed_append(ClosedPwlBucket.from_bucket(open_))
+                open_ = PwlBucket(base + j, v, hull_epsilon=hull_epsilon)
+                bucket_count += 1
+                ylo = yhi = v
+            i = j + 1
+    return open_, i

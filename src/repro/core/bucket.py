@@ -61,6 +61,29 @@ class Bucket:
         elif value > self.max:
             self.max = value
 
+    def insert_run(self, beg: int, end: int, lo, hi) -> None:
+        """Absorb a pre-reduced run of values in O(1), in place.
+
+        The run covers stream indices ``[beg, end]`` -- it must start
+        exactly where this bucket ends -- and ``lo`` / ``hi`` bound the
+        run's values.  Equivalent to calling :meth:`extend` once per item,
+        without needing the items.
+        """
+        if beg != self.end + 1:
+            raise InvalidParameterError(
+                f"run [{beg}, {end}] does not adjoin bucket "
+                f"[{self.beg}, {self.end}]"
+            )
+        if end < beg:
+            raise InvalidParameterError(f"run range [{beg}, {end}] is empty")
+        if lo > hi:
+            raise InvalidParameterError(f"run min {lo} exceeds max {hi}")
+        self.end = end
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
     def would_extend_error(self, value) -> float:
         """Error the bucket would have after absorbing ``value`` (no mutation)."""
         lo = value if value < self.min else self.min

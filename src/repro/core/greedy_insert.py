@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.core.batch import MAX_WINDOW, as_batch_array, greedy_chunk
 from repro.core.bucket import Bucket
 from repro.core.histogram import Histogram, Segment
 from repro.exceptions import EmptySummaryError, InvalidParameterError
@@ -68,9 +69,57 @@ class GreedyInsertSummary:
         self._next_index += 1
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
-        for value in values:
-            self.insert(value)
+        """Insert every value of an iterable, in order.
+
+        Lists and numeric ndarrays route through the vectorized kernel of
+        :mod:`repro.core.batch`; the result is identical to the scalar
+        loop, item for item.
+        """
+        arr = as_batch_array(values)
+        if arr is None:
+            for value in values:
+                self.insert(value)
+            return
+        for off in range(0, len(arr), MAX_WINDOW):
+            chunk = arr[off : off + MAX_WINDOW]
+            self._open, _ = greedy_chunk(
+                chunk,
+                self._next_index,
+                self._open,
+                self._closed.append,
+                self.target_error,
+            )
+            self._next_index += len(chunk)
+
+    def insert_run(self, beg: int, end: int, lo, hi) -> bool:
+        """O(1) ingestion of a pre-reduced run (Section 2.2.2, generalized).
+
+        The run covers stream indices ``[beg, end]`` (which must continue
+        the stream at ``items_seen``) with value bounds ``lo`` / ``hi``.
+        Returns True when the whole run fits within the target error --
+        absorbed into the open bucket, or opening a fresh one -- leaving
+        the summary exactly as if each value had been inserted.  Returns
+        False, leaving the summary untouched, when absorption is not
+        provably equivalent (the caller must replay the raw values).
+        """
+        if beg != self._next_index:
+            raise InvalidParameterError(
+                f"run starts at {beg}, summary expects {self._next_index}"
+            )
+        count = end - beg + 1
+        if self._open is not None:
+            new_lo = lo if lo < self._open.min else self._open.min
+            new_hi = hi if hi > self._open.max else self._open.max
+            if (new_hi - new_lo) / 2.0 <= self.target_error:
+                self._open.insert_run(beg, end, lo, hi)
+                self._next_index += count
+                return True
+            return False
+        if (hi - lo) / 2.0 <= self.target_error:
+            self._open = Bucket(beg, end, lo, hi)
+            self._next_index += count
+            return True
+        return False
 
     def insert_batch(self, values: Sequence, lo, hi) -> bool:
         """Batched fast path of Section 2.2.2.

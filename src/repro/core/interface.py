@@ -79,7 +79,15 @@ class StreamingSummary(Protocol):
         ...
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
+        """Insert every value of an iterable, in order.
+
+        Semantically identical to calling :meth:`insert` per value, and
+        implementations MUST keep it so: lists and 1-D numeric ndarrays
+        may take a vectorized batch path (see :mod:`repro.core.batch` and
+        ``docs/API.md``), but the resulting summary state must match the
+        scalar loop exactly.  With instrumentation on, one batch emits a
+        single ``on_insert`` event carrying the item count.
+        """
         ...
 
     @property

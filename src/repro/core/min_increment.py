@@ -20,6 +20,15 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro.core.batch import (
+    MAX_WINDOW,
+    absorbable_prefix,
+    as_batch_array,
+    greedy_chunk,
+)
+from repro.core.bucket import Bucket
 from repro.core.error_ladder import ErrorLadder
 from repro.core.greedy_insert import GreedyInsertSummary
 from repro.core.histogram import Histogram
@@ -135,9 +144,221 @@ class MinIncrementHistogram:
         self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
-        for value in values:
-            self.insert(value)
+        """Insert every value of an iterable, in order.
+
+        Lists and numeric ndarrays take the vectorized kernel: every
+        surviving ladder level absorbs pre-reduced runs, levels that
+        outgrow ``B`` buckets stop early (they are dead either way), and
+        the final state matches the scalar loop exactly.  Out-of-domain
+        values still raise :class:`DomainError` with the prefix before the
+        offending item ingested, as the scalar loop would.  With
+        instrumentation on, the batch emits one ``on_insert`` event
+        carrying the item count instead of one event per item.
+        """
+        arr = as_batch_array(values)
+        if arr is None:
+            for value in values:
+                self.insert(value)
+            return
+        n = len(arr)
+        if n == 0:
+            return
+        bad = (arr < 0) | (arr >= self.universe)
+        if bad.any():
+            offender = int(np.argmax(bad))
+            if offender:
+                self.extend(values[:offender])
+            self._check_domain(arr[offender].item())  # raises DomainError
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
+        if self._batch_size is None:
+            best = self._summaries[0]
+            best_buckets = best.bucket_count if observe else 0
+            dead = 0
+            for off in range(0, n, MAX_WINDOW):
+                dead += self._extend_chunk_unbuffered(arr[off : off + MAX_WINDOW])
+            if observe:
+                if dead:
+                    self._metrics.on_promotion(dead)
+                if self._summaries[0] is best:
+                    absorbed = n - (best.bucket_count - best_buckets)
+                    if absorbed > 0:
+                        self._metrics.on_merge(absorbed)
+        else:
+            # The buffered path accounts flush/promotion/merge events
+            # itself (group-0 goes through _flush_buffer, which already
+            # does its own accounting when instrumented).
+            self._extend_buffered(arr, values)
+        if observe:
+            self._metrics.on_insert(n, latency=perf_counter() - start)
+
+    def insert_run(self, beg: int, end: int, lo, hi) -> bool:
+        """O(1)-per-level ingestion of a pre-reduced run of values.
+
+        The run covers stream indices ``[beg, end]`` (continuing at
+        ``items_seen``) with value bounds ``lo`` / ``hi``.  Returns True
+        when *every* surviving ladder level can absorb the run into its
+        open bucket (or open a fresh one) within its target error, leaving
+        the summary exactly as if each value had been inserted; returns
+        False, leaving the summary untouched, otherwise.  Buffered
+        summaries always return False: their flush grouping depends on the
+        raw values.
+        """
+        self._check_domain(lo)
+        self._check_domain(hi)
+        if beg != self._n:
+            raise InvalidParameterError(
+                f"run starts at {beg}, summary expects {self._n}"
+            )
+        if end < beg:
+            raise InvalidParameterError(f"run range [{beg}, {end}] is empty")
+        if self._batch_size is not None:
+            return False
+        span = (hi - lo) / 2.0
+        for summary in self._summaries:
+            open_ = summary._open
+            if open_ is not None:
+                new_lo = lo if lo < open_.min else open_.min
+                new_hi = hi if hi > open_.max else open_.max
+                if (new_hi - new_lo) / 2.0 > summary.target_error:
+                    return False
+            elif span > summary.target_error:
+                return False
+        limit = self.target_buckets
+        survivors = []
+        for summary in self._summaries:
+            absorbed = summary.insert_run(beg, end, lo, hi)
+            assert absorbed
+            if summary.bucket_count <= limit or summary is self._summaries[-1]:
+                survivors.append(summary)
+        self._keep(survivors)
+        self._n = end + 1
+        return True
+
+    def _extend_chunk_unbuffered(self, arr) -> int:
+        """Batch one chunk into every level; returns dead level count."""
+        limit = self.target_buckets
+        last = self._summaries[-1]
+        survivors = []
+        dead = 0
+        for summary in self._summaries:
+            is_last = summary is last
+            summary._open, consumed = greedy_chunk(
+                arr,
+                summary._next_index,
+                summary._open,
+                summary._closed.append,
+                summary.target_error,
+                stop_after=None if is_last else limit,
+                bucket_count=summary.bucket_count,
+            )
+            summary._next_index += consumed
+            if summary.bucket_count <= limit or is_last:
+                survivors.append(summary)
+            else:
+                dead += 1
+        self._keep(survivors)
+        self._n += len(arr)
+        return dead
+
+    def _extend_buffered(self, arr, values) -> None:
+        """Batched Section 2.2.2 path: whole flush groups at a time.
+
+        Replays the scalar buffer protocol exactly -- same flush
+        boundaries, same per-group O(1) absorb-or-rescan decisions -- but
+        reduces full groups with vectorized min/max and gallops over
+        consecutive absorbable groups.  ``values`` is the original input
+        so the leftover buffer keeps the caller's element types.
+        """
+        size = self._batch_size
+        n = len(arr)
+        if len(self._buffer) + n < size:
+            self._buffer.extend(values[i] for i in range(n))
+            self._n += n
+            return
+        first = size - len(self._buffer)
+        if first:
+            self._buffer.extend(values[i] for i in range(first))
+        self._n += first
+        self._flush_buffer()
+        groups = (n - first) // size
+        if groups:
+            observe = self._metrics is not None
+            best = self._summaries[0]
+            best_buckets = best.bucket_count if observe else 0
+            dead = 0
+            mid = np.ascontiguousarray(arr[first : first + groups * size])
+            blocks = mid.reshape(groups, size)
+            gmin = blocks.min(axis=1)
+            gmax = blocks.max(axis=1)
+            limit = self.target_buckets
+            last = self._summaries[-1]
+            survivors = []
+            for summary in self._summaries:
+                is_last = summary is last
+                g = 0
+                while g < groups:
+                    if not is_last and summary.bucket_count > limit:
+                        break
+                    if summary._open is not None:
+                        j, lo, hi = absorbable_prefix(
+                            gmin,
+                            gmax,
+                            g,
+                            summary._open.min,
+                            summary._open.max,
+                            summary.target_error,
+                        )
+                        if j > g:
+                            count = (j - g) * size
+                            summary._open.insert_run(
+                                summary._next_index,
+                                summary._next_index + count - 1,
+                                lo,
+                                hi,
+                            )
+                            summary._next_index += count
+                            g = j
+                            continue
+                    elif (gmax[g] - gmin[g]) / 2.0 <= summary.target_error:
+                        summary._open = Bucket(
+                            summary._next_index,
+                            summary._next_index + size - 1,
+                            gmin[g].item(),
+                            gmax[g].item(),
+                        )
+                        summary._next_index += size
+                        g += 1
+                        continue
+                    # Case 2 of insert_batch: rescan this group item by item.
+                    summary._open, _ = greedy_chunk(
+                        blocks[g],
+                        summary._next_index,
+                        summary._open,
+                        summary._closed.append,
+                        summary.target_error,
+                    )
+                    summary._next_index += size
+                    g += 1
+                if summary.bucket_count <= limit or is_last:
+                    survivors.append(summary)
+                else:
+                    dead += 1
+            self._keep(survivors)
+            self._n += groups * size
+            if observe:
+                for _ in range(groups):
+                    self._metrics.on_flush(size)
+                if dead:
+                    self._metrics.on_promotion(dead)
+                if survivors[0] is best:
+                    absorbed = groups * size - (best.bucket_count - best_buckets)
+                    if absorbed > 0:
+                        self._metrics.on_merge(absorbed)
+        tail_start = first + groups * size
+        if tail_start < n:
+            self._buffer = [values[i] for i in range(tail_start, n)]
+            self._n += n - tail_start
 
     def flush(self) -> None:
         """Drain the batch buffer (no-op when unbuffered or empty)."""

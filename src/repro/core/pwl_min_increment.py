@@ -19,6 +19,9 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro.core.batch import MAX_WINDOW, as_batch_array, pwl_greedy_chunk
 from repro.core.error_ladder import ErrorLadder
 from repro.core.histogram import Histogram
 from repro.core.interface import DEFAULT_HULL_EPSILON
@@ -68,9 +71,28 @@ class PwlGreedyInsertSummary:
         self._next_index += 1
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
-        for value in values:
-            self.insert(value)
+        """Insert every value of an iterable, in order.
+
+        Lists and numeric ndarrays route through the vectorized
+        hull-point batching kernel; the hull mutations are identical to
+        the scalar loop.
+        """
+        arr = as_batch_array(values)
+        if arr is None:
+            for value in values:
+                self.insert(value)
+            return
+        for off in range(0, len(arr), MAX_WINDOW):
+            chunk = arr[off : off + MAX_WINDOW]
+            self.open, _ = pwl_greedy_chunk(
+                chunk,
+                self._next_index,
+                self.open,
+                self.closed.append,
+                self.target_error,
+                self.hull_epsilon,
+            )
+            self._next_index += len(chunk)
 
     @property
     def bucket_count(self) -> int:
@@ -206,9 +228,68 @@ class PwlMinIncrementHistogram:
             self._metrics.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
-        for value in values:
-            self.insert(value)
+        """Insert every value of an iterable, in order.
+
+        Lists and numeric ndarrays route every surviving ladder level
+        through the vectorized hull-batching kernel (dead levels stop
+        early); the final state matches the scalar loop exactly.  With
+        instrumentation on, the batch emits one ``on_insert`` event with
+        the item count.
+        """
+        arr = as_batch_array(values)
+        if arr is None:
+            for value in values:
+                self.insert(value)
+            return
+        n = len(arr)
+        if n == 0:
+            return
+        bad = (arr < 0) | (arr >= self.universe)
+        if bad.any():
+            offender = int(np.argmax(bad))
+            if offender:
+                self.extend(values[:offender])
+            v = arr[offender].item()
+            raise DomainError(
+                f"value {v!r} outside universe [0, {self.universe})"
+            )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
+        best = self._summaries[0]
+        best_buckets = best.bucket_count if observe else 0
+        dead = 0
+        limit = self.target_buckets
+        for off in range(0, n, MAX_WINDOW):
+            chunk = arr[off : off + MAX_WINDOW]
+            last = self._summaries[-1]
+            survivors = []
+            for summary in self._summaries:
+                is_last = summary is last
+                summary.open, consumed = pwl_greedy_chunk(
+                    chunk,
+                    summary._next_index,
+                    summary.open,
+                    summary.closed.append,
+                    summary.target_error,
+                    summary.hull_epsilon,
+                    stop_after=None if is_last else limit,
+                    bucket_count=summary.bucket_count,
+                )
+                summary._next_index += consumed
+                if summary.bucket_count <= limit or is_last:
+                    survivors.append(summary)
+                else:
+                    dead += 1
+            self._summaries = survivors
+            self._n += len(chunk)
+        if observe:
+            if dead:
+                self._metrics.on_promotion(dead)
+            if self._summaries[0] is best:
+                absorbed = n - (best.bucket_count - best_buckets)
+                if absorbed > 0:
+                    self._metrics.on_merge(absorbed)
+            self._metrics.on_insert(n, latency=perf_counter() - start)
 
     # -- queries --------------------------------------------------------------------
 

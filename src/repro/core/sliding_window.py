@@ -27,6 +27,9 @@ from collections import deque
 from time import perf_counter
 from typing import Deque, Iterable, Optional
 
+import numpy as np
+
+from repro.core.batch import MAX_WINDOW, as_batch_array, greedy_chunk
 from repro.core.bucket import Bucket
 from repro.core.error_ladder import ErrorLadder
 from repro.core.histogram import Histogram, Segment
@@ -183,9 +186,56 @@ class SlidingWindowMinIncrement:
         m.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
-        for value in values:
-            self.insert(value)
+        """Insert every value of an iterable, in order.
+
+        Lists and numeric ndarrays take a vectorized path: each chunk is
+        greedily ingested per level, then expiry and trim run once against
+        the chunk's final window start.  Greedy boundaries depend only on
+        the open bucket and both policies drop from the old end, so the
+        surviving suffix matches the per-item schedule exactly.  With
+        instrumentation on, a batch emits one ``on_insert`` event with the
+        item count and aggregated eviction counts.
+        """
+        arr = as_batch_array(values)
+        if arr is None:
+            for value in values:
+                self.insert(value)
+            return
+        n = len(arr)
+        if n == 0:
+            return
+        bad = (arr < 0) | (arr >= self.universe)
+        if bad.any():
+            offender = int(np.argmax(bad))
+            if offender:
+                self.extend(values[:offender])
+            v = arr[offender].item()
+            raise DomainError(
+                f"value {v!r} outside universe [0, {self.universe})"
+            )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
+        max_buckets = self.target_buckets + 1
+        evicted = 0
+        for off in range(0, n, MAX_WINDOW):
+            chunk = arr[off : off + MAX_WINDOW]
+            base = self._n
+            self._n += len(chunk)
+            window_start = self.window_start
+            for summary in self._summaries:
+                summary.open, _ = greedy_chunk(
+                    chunk,
+                    base,
+                    summary.open,
+                    summary.closed.append,
+                    summary.target_error,
+                )
+                evicted += summary.expire(window_start)
+                evicted += summary.trim_to(max_buckets)
+        if observe:
+            if evicted:
+                self._metrics.on_evict(evicted)
+            self._metrics.on_insert(n, latency=perf_counter() - start)
 
     # -- queries --------------------------------------------------------------------
 

@@ -22,6 +22,9 @@ from collections import deque
 from time import perf_counter
 from typing import Deque, Iterable, Optional
 
+import numpy as np
+
+from repro.core.batch import MAX_WINDOW, as_batch_array, pwl_greedy_chunk
 from repro.core.error_ladder import ErrorLadder
 from repro.core.histogram import Histogram, Segment
 from repro.core.interface import DEFAULT_HULL_EPSILON
@@ -178,9 +181,54 @@ class SlidingWindowPwlMinIncrement:
         m.on_insert(latency=perf_counter() - start)
 
     def extend(self, values: Iterable) -> None:
-        """Insert every value of an iterable, in order."""
-        for value in values:
-            self.insert(value)
+        """Insert every value of an iterable, in order.
+
+        Same vectorized schedule as
+        :meth:`SlidingWindowMinIncrement.extend`: per-level hull batching
+        over each chunk, then one expiry/trim pass at the chunk's final
+        window start -- exactly the per-item surviving suffix.
+        """
+        arr = as_batch_array(values)
+        if arr is None:
+            for value in values:
+                self.insert(value)
+            return
+        n = len(arr)
+        if n == 0:
+            return
+        bad = (arr < 0) | (arr >= self.universe)
+        if bad.any():
+            offender = int(np.argmax(bad))
+            if offender:
+                self.extend(values[:offender])
+            v = arr[offender].item()
+            raise DomainError(
+                f"value {v!r} outside universe [0, {self.universe})"
+            )
+        observe = self._metrics is not None
+        start = perf_counter() if observe else 0.0
+        max_buckets = self.target_buckets + 1
+        evicted = 0
+        for off in range(0, n, MAX_WINDOW):
+            chunk = arr[off : off + MAX_WINDOW]
+            base = self._n
+            self._n += len(chunk)
+            window_start = self.window_start
+            for summary in self._summaries:
+                summary.open, _ = pwl_greedy_chunk(
+                    chunk,
+                    base,
+                    summary.open,
+                    summary.closed.append,
+                    summary.target_error,
+                    summary.hull_epsilon,
+                )
+                evicted += summary.expire(window_start)
+                evicted += summary.trim_to(max_buckets)
+        if observe:
+            if evicted:
+                self._metrics.on_evict(evicted)
+            self._metrics.on_insert(n, latency=perf_counter() - start)
 
     # -- queries -------------------------------------------------------------
 

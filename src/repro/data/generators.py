@@ -3,8 +3,11 @@
 All generators return plain Python lists of floats (quantize separately via
 :func:`repro.data.quantize.quantize_to_universe`) and take an explicit
 ``seed`` so every experiment, test, and benchmark is reproducible.  numpy
-is used for the heavy lifting; the outputs are ordinary lists because the
-streaming algorithms consume one value at a time.
+is used for the heavy lifting; the outputs are ordinary lists for a stable
+public type, and ``extend()`` coerces them to an ndarray once so ingestion
+still runs through the vectorized batch kernels
+(:mod:`repro.core.batch`).  Wrap a generator's output in ``np.asarray``
+yourself to skip even that single coercion.
 """
 
 from __future__ import annotations
@@ -35,7 +38,9 @@ def brownian_walk(n: int, *, seed: int = 0, step: float = 1.0) -> list[float]:
     return np.cumsum(steps).tolist()
 
 
-def uniform_noise(n: int, *, seed: int = 0, low: float = 0.0, high: float = 1.0) -> list[float]:
+def uniform_noise(
+    n: int, *, seed: int = 0, low: float = 0.0, high: float = 1.0
+) -> list[float]:
     """I.i.d. uniform values in ``[low, high)`` -- a worst case for bucketing."""
     _check_length(n)
     if high <= low:

@@ -3,7 +3,9 @@
 The paper's datasets came from flat files (StatLib's DJIA closes, CDEC's
 river gauge exports); adopters with the originals -- or any one-column
 numeric data -- load them here and feed the result straight into the
-algorithms, optionally quantizing into the paper's integer domain.
+algorithms, optionally quantizing into the paper's integer domain.  The
+loaders return lists; ``extend()`` coerces a list to an ndarray once and
+ingests it through the chunked batch kernels (:mod:`repro.core.batch`).
 """
 
 from __future__ import annotations

@@ -145,9 +145,16 @@ class StreamFleet:
             self.insert(stream_id, value)
 
     def extend(self, stream_id: Hashable, values: Iterable) -> None:
-        """Append many values to one stream."""
-        for value in values:
-            self.insert(stream_id, value)
+        """Append many values to one stream (auto-registering it).
+
+        Delegates to the summary's own ``extend``, so lists and numeric
+        ndarrays get the vectorized batch-ingest path.
+        """
+        summary = self._summaries.get(stream_id)
+        if summary is None:
+            self.add_stream(stream_id)
+            summary = self._summaries[stream_id]
+        summary.extend(values)
 
     # -- queries -----------------------------------------------------------------
 

@@ -102,6 +102,21 @@ class StreamingHull:
     def __bool__(self) -> bool:
         return bool(self.lower)
 
+    def y_extent(self) -> tuple:
+        """``(min_y, max_y)`` over the stored points.
+
+        The vertical extremes are hull vertices (they are extreme in the
+        -y / +y directions), so the chain minima are exact.  Used by the
+        batch-ingest kernels to bound a PWL bucket's fit error by half its
+        vertical range.
+        """
+        if not self.lower:
+            raise InvalidParameterError("y_extent of an empty hull")
+        return (
+            min(y for _x, y in self.lower),
+            max(y for _x, y in self.upper),
+        )
+
     def add(self, x, y) -> None:
         """Insert a point with x strictly greater than all previous points."""
         if self.lower and x <= self.lower[-1][0]:

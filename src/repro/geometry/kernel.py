@@ -153,6 +153,10 @@ class ApproximateHull:
         """Insert a point with strictly increasing x (no compression)."""
         self._inner.add(x, y)
 
+    def y_extent(self) -> tuple:
+        """``(min_y, max_y)`` over the currently stored points."""
+        return self._inner.y_extent()
+
     def undo_last_add(self) -> None:
         """Roll back the most recent :meth:`add` exactly."""
         self._inner.undo_last_add()

@@ -177,7 +177,9 @@ def min_relative_buckets_for_error(values, error: float, *, sanity: float = 1.0)
     return count
 
 
-def brute_force_min_relative_buckets(values, error: float, *, sanity: float = 1.0) -> int:
+def brute_force_min_relative_buckets(
+    values, error: float, *, sanity: float = 1.0
+) -> int:
     """Reference DP used by the tests (quadratic; tiny inputs only)."""
     n = len(values)
     if n == 0:

@@ -8,7 +8,6 @@ summaries are themselves provably ordered.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

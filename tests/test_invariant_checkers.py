@@ -49,7 +49,7 @@ class TestMinMergeCheckers:
         summary = MinMergeHistogram(buckets=2)
         summary.extend(range(20))
         node = summary._list.head
-        summary._heap.update(node.pair_handle, -123.0)
+        summary._heap.update(node.pair_handle, (-123.0, node.bucket.beg))
         with pytest.raises(AssertionError):
             summary.check_heap_consistency()
 
