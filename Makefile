@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint check bench bench-smoke
+.PHONY: test overhead-guard lint check bench bench-smoke bench-parallel
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,3 +32,9 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q
 	$(PYTHON) benchmarks/bench_batch_ingest.py --smoke \
 		--json BENCH_PR.json --min-speedup 2.0
+	$(PYTHON) benchmarks/bench_parallel_ingest.py --quick \
+		--json BENCH_PARALLEL.json --min-speedup 1.3
+
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel_ingest.py \
+		--json BENCH_PARALLEL.json --min-speedup 1.3

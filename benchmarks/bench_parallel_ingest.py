@@ -1,0 +1,290 @@
+"""Parallel shard-ingest throughput: serial batch vs the sharded executor.
+
+``repro.parallel`` promises two things: the combined summary is
+*bit-identical* to a serial merge of the same shard plan
+(:meth:`ParallelSummarizer.reference`) while keeping the (1, 2) guarantee
+against the offline optimum, and multi-core shard ingest beats one serial
+``extend()`` once shards are large enough to amortize pool startup.  This
+file guards both equivalence claims on randomized streams before trusting
+any timing, then measures serial vs P in {2, 4, cpu_count} workers and the
+merge-tree depth (arity) sensitivity.
+
+Run directly for the standalone gate (used by CI's benchmark smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_ingest.py \
+        --quick --json BENCH_PARALLEL.json --min-speedup 1.3
+
+The speedup gate applies to MIN-MERGE on the rough (uniform-random)
+workload only -- brownian streams merge so cheaply that the serial batch
+kernel is already memory-bound -- and **only when the machine has >= 2
+usable cores**: on a single-core runner every configuration is measured
+and reported, but the gate is skipped (there is no parallelism to gain).
+Exact-hull PWL rows are reported ungated at a smaller n (its ingest is
+orders of magnitude slower per item, so parallel wins come trivially).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.data import brownian
+from repro.offline import optimal_error
+from repro.parallel import ParallelSummarizer, available_cpus, fork_available
+
+from conftest import PAPER_SCALE
+
+BUCKETS = 32
+UNIVERSE = 1 << 15
+
+#: Stream lengths per method: full (default) vs --quick (CI smoke).  The
+#: PWL rows run exact hulls (hull_epsilon=None), whose streaming-hull
+#: ingest is ~1000x slower per item than the min-merge batch kernel, so
+#: they use proportionally smaller streams.
+FULL_ITEMS = {"min-merge": 10_000_000, "pwl-min-merge": 100_000}
+QUICK_ITEMS = {"min-merge": 1_000_000, "pwl-min-merge": 20_000}
+
+#: (method, workload) pairs under the speedup gate when >= 2 cores exist.
+GATED = [("min-merge", "rough")]
+
+
+def _workload(name: str, items: int, seed: int = 7) -> np.ndarray:
+    if name == "rough":
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, UNIVERSE, items)
+    if name == "brownian":
+        return np.asarray(brownian(items))
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _serial_summary(method: str):
+    if method == "min-merge":
+        return MinMergeHistogram(buckets=BUCKETS)
+    return PwlMinMergeHistogram(buckets=BUCKETS, hull_epsilon=None)
+
+
+def _state(summary) -> tuple:
+    return (
+        summary.items_seen,
+        [(b.beg, b.end, b.left, b.right) for b in summary.histogram()],
+        summary.error,
+    )
+
+
+def _equivalence_guard(method: str, seed: int = 0) -> None:
+    """Fail loudly if the pooled run diverges from the serial merge oracle
+    or breaks the (1, 2) bound; timings would be meaningless."""
+    items = 60_000 if method == "min-merge" else 4_000
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, UNIVERSE, items)
+    backends = ["thread"] + (["process"] if fork_available() else [])
+    for backend in backends:
+        runner = ParallelSummarizer(
+            method, buckets=BUCKETS, workers=3, backend=backend,
+            serial_cutoff=1,
+        )
+        got = _state(runner.summarize(data))
+        want = _state(runner.reference(data))
+        if got != want:
+            raise AssertionError(
+                f"{method}/{backend}: parallel summarize diverged from the "
+                f"serial merge-of-shards reference (seed {seed})"
+            )
+    # Property gate: the sharded result keeps the (1, 2) guarantee -- its
+    # error never exceeds the offline optimal B-bucket error.
+    small = rng.integers(0, 256, 2_000)
+    sharded = ParallelSummarizer(
+        method, buckets=8, workers=4, backend="thread", serial_cutoff=1
+    ).summarize(small)
+    bound = optimal_error(small.tolist(), 8)
+    if sharded.error > bound + 1e-9:
+        raise AssertionError(
+            f"{method}: sharded error {sharded.error} exceeds the offline "
+            f"optimal 8-bucket error {bound}; the (1, 2) bound is broken"
+        )
+
+
+def _time_serial(method: str, arr: np.ndarray) -> float:
+    summary = _serial_summary(method)
+    start = time.perf_counter()
+    summary.extend(arr)
+    elapsed = time.perf_counter() - start
+    assert summary.items_seen == len(arr)
+    return elapsed
+
+
+def _time_parallel(
+    method: str, arr: np.ndarray, workers: int, arity: int = 2
+) -> float:
+    runner = ParallelSummarizer(
+        method, buckets=BUCKETS, workers=workers, arity=arity,
+        serial_cutoff=1,
+    )
+    start = time.perf_counter()
+    summary = runner.summarize(arr)
+    elapsed = time.perf_counter() - start
+    assert summary.items_seen == len(arr)
+    return elapsed
+
+
+def _measure(method: str, workload: str, items: int) -> list:
+    arr = _workload(workload, items)
+    serial_s = _time_serial(method, arr)
+    cpus = available_cpus()
+    rows = []
+    for workers in sorted({2, 4, cpus} - {1}):
+        parallel_s = _time_parallel(method, arr, workers)
+        rows.append(
+            {
+                "method": method,
+                "workload": workload,
+                "items": items,
+                "workers": workers,
+                "arity": 2,
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup": serial_s / parallel_s,
+            }
+        )
+    # Merge-tree depth sensitivity: same worker count, wider fan-in.  Only
+    # interesting when the tree has more than one level at arity 2.
+    deepest = max(row["workers"] for row in rows)
+    if deepest > 2:
+        for arity in sorted({4, deepest} - {2}):
+            parallel_s = _time_parallel(method, arr, deepest, arity=arity)
+            rows.append(
+                {
+                    "method": method,
+                    "workload": workload,
+                    "items": items,
+                    "workers": deepest,
+                    "arity": arity,
+                    "serial_s": serial_s,
+                    "parallel_s": parallel_s,
+                    "speedup": serial_s / parallel_s,
+                }
+            )
+    return rows
+
+
+def run(quick: bool, min_speedup: float, json_path: Path | None) -> int:
+    for method in ("min-merge", "pwl-min-merge"):
+        _equivalence_guard(method)
+    sizes = QUICK_ITEMS if quick else FULL_ITEMS
+    cpus = available_cpus()
+    gate_enforced = cpus >= 2
+    print(
+        f"parallel vs serial ingest, {cpus} CPUs, "
+        f"gate {'>= %.2fx' % min_speedup if gate_enforced else 'skipped (1 CPU)'}"
+    )
+    results = []
+    failures = 0
+    plans = [
+        ("min-merge", "rough"),
+        ("min-merge", "brownian"),
+        ("pwl-min-merge", "rough"),
+    ]
+    for method, workload in plans:
+        rows = _measure(method, workload, sizes[method])
+        results.extend(rows)
+        for row in rows:
+            gated = (
+                gate_enforced
+                and (method, workload) in GATED
+                and row["arity"] == 2
+                and row["workers"] <= cpus
+            )
+            ok = (not gated) or row["speedup"] >= min_speedup
+            if not ok:
+                failures += 1
+            print(
+                f"{method:<16} {workload:<9} n={row['items']:<9,} "
+                f"P={row['workers']:<2} arity={row['arity']:<2} "
+                f"serial {row['serial_s']:7.3f}s   "
+                f"parallel {row['parallel_s']:7.3f}s   "
+                f"speedup {row['speedup']:5.2f}x   "
+                f"{'ok' if ok else 'FAIL'}{'' if gated else ' (ungated)'}"
+            )
+    if json_path is not None:
+        payload = {
+            "benchmark": "parallel_ingest",
+            "cpus": cpus,
+            "gate_enforced": gate_enforced,
+            "min_speedup": min_speedup,
+            "results": results,
+        }
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return 1 if failures else 0
+
+
+# -- pytest-benchmark surface (make bench) --------------------------------
+
+_BENCH_ITEMS = (
+    FULL_ITEMS["min-merge"] if PAPER_SCALE else QUICK_ITEMS["min-merge"]
+)
+
+
+@pytest.mark.parametrize("method", ["min-merge", "pwl-min-merge"])
+def test_equivalence_guard(method):
+    _equivalence_guard(method)
+
+
+def test_parallel_min_merge_ingest(benchmark):
+    arr = _workload("rough", _BENCH_ITEMS)
+    runner = ParallelSummarizer(
+        "min-merge", buckets=BUCKETS, workers=max(2, available_cpus()),
+        serial_cutoff=1,
+    )
+
+    def ingest():
+        return runner.summarize(arr)
+
+    summary = benchmark(ingest)
+    assert summary.items_seen == len(arr)
+    serial_s = _time_serial("min-merge", arr)
+    benchmark.extra_info.update(
+        {"serial_s": serial_s, "cpus": available_cpus()}
+    )
+    if available_cpus() >= 2:
+        parallel_s = _time_parallel(
+            "min-merge", arr, max(2, available_cpus())
+        )
+        assert serial_s / parallel_s >= 1.3, (
+            f"parallel speedup {serial_s / parallel_s:.2f}x below 1.3x "
+            f"on {available_cpus()} CPUs at n={len(arr)}"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            f"use the CI smoke sizes (min-merge n={QUICK_ITEMS['min-merge']:,}) "
+            f"instead of the full n={FULL_ITEMS['min-merge']:,}"
+        ),
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        help="fail a gated row below this speedup (skipped on 1-CPU hosts)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write results to this JSON file"
+    )
+    args = parser.parse_args()
+    return run(args.quick, args.min_speedup, args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

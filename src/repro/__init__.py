@@ -78,6 +78,11 @@ from repro.core.aggregation import (
 )
 from repro.checkpoint import restore, state_dict
 from repro.fleet import StreamFleet
+from repro.parallel import (
+    ParallelSummarizer,
+    ShardPlan,
+    summarize_parallel,
+)
 from repro.l2 import L2MergeHistogram, voptimal_error, voptimal_histogram
 from repro.relative import (
     RelativeMinIncrementHistogram,
@@ -136,6 +141,9 @@ __all__ = [
     "compression_profile",
     "merge_min_merge_summaries",
     "merge_pwl_summaries",
+    "ParallelSummarizer",
+    "ShardPlan",
+    "summarize_parallel",
     "StreamFleet",
     "state_dict",
     "restore",

@@ -31,6 +31,7 @@ from repro.core.histogram import Histogram
 from repro.core.min_increment import MinIncrementHistogram
 from repro.core.min_merge import MinMergeHistogram
 from repro.core.pwl_min_increment import PwlMinIncrementHistogram
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
 from repro.exceptions import InvalidParameterError
 from repro.offline.optimal import optimal_histogram
 from repro.offline.optimal_pwl import optimal_pwl_histogram
@@ -71,6 +72,10 @@ def _build_pwl(values, buckets, epsilon):
     )
 
 
+def _build_pwl_min_merge(values, buckets, epsilon):
+    return _run_summary(PwlMinMergeHistogram(buckets=buckets), values)
+
+
 #: Registry mapping :func:`summarize` method names to builders.  Each
 #: builder takes ``(values, buckets, epsilon)`` and returns a
 #: :class:`~repro.core.histogram.Histogram`.  Extend it to register a new
@@ -79,9 +84,17 @@ ALGORITHM_REGISTRY = {
     "min-increment": _build_min_increment,
     "min-merge": _build_min_merge,
     "pwl": _build_pwl,
+    "pwl-min-merge": _build_pwl_min_merge,
     "optimal": _build_optimal,
     "optimal-pwl": _build_optimal_pwl,
 }
+
+#: Methods that accept ``workers=`` in :func:`summarize`: exactly the
+#: merge-capable families, whose shard summaries combine losslessly (see
+#: ``repro.parallel``).  The ladder methods are excluded because
+#: MIN-INCREMENT state is not mergeable (each GREEDY-INSERT level depends
+#: on its own segment's bucket boundaries).
+PARALLEL_METHODS = ("min-merge", "pwl-min-merge")
 
 
 def __getattr__(name: str):
@@ -119,6 +132,7 @@ def summarize(
     *,
     method: Union[str, type] = "min-increment",
     epsilon: float = 0.1,
+    workers: Union[None, int, str] = None,
 ) -> Histogram:
     """Build a maximum-error histogram of ``values`` in one call.
 
@@ -139,6 +153,8 @@ def summarize(
         * ``"min-increment"`` (default) -- streaming (1 + eps, 1);
         * ``"min-merge"`` -- streaming (1, 2);
         * ``"pwl"`` -- streaming piecewise-linear (1 + eps, 1);
+        * ``"pwl-min-merge"`` -- streaming piecewise-linear (1, 2) with
+          exact hulls (up to ``2 B`` buckets, like ``"min-merge"``);
         * ``"optimal"`` -- exact offline optimum (Theorem 6);
         * ``"optimal-pwl"`` -- near-exact offline piecewise-linear;
 
@@ -146,6 +162,15 @@ def summarize(
         :class:`~repro.core.interface.StreamingSummary` protocol.
     epsilon:
         Approximation parameter for the streaming methods.
+    workers:
+        Multi-core shard ingest for the merge-capable methods
+        (:data:`PARALLEL_METHODS`): ``None`` (default) stays serial, a
+        positive int pins the worker count, ``"auto"`` sizes to the
+        machine with a serial cut-off.  The parallel result keeps the
+        method's approximation guarantee and is deterministic for a fixed
+        worker count, but its buckets may differ from the serial run's (a
+        different, equally valid, merge schedule -- see ``docs/API.md``).
+        Other methods raise: MIN-INCREMENT ladder state is not mergeable.
     """
     if not hasattr(values, "__len__"):
         # Generators / iterators: materialize once so len(), min()/max()
@@ -153,6 +178,8 @@ def summarize(
         values = list(values)
     if len(values) == 0:
         raise InvalidParameterError("cannot summarize an empty sequence")
+    if workers is not None and workers != 1:
+        return _summarize_workers(values, buckets, method, workers)
     if isinstance(method, type):
         summary = _construct_summary_class(method, values, buckets, epsilon)
         return _run_summary(summary, values)
@@ -163,6 +190,25 @@ def summarize(
             f"unknown method {method!r}; known methods: {known}"
         )
     return builder(values, buckets, epsilon)
+
+
+def _summarize_workers(values, buckets: int, method, workers) -> Histogram:
+    """Dispatch ``summarize(..., workers=)`` to the parallel executor."""
+    if not isinstance(method, str) or method not in PARALLEL_METHODS:
+        label = method.__name__ if isinstance(method, type) else repr(method)
+        raise InvalidParameterError(
+            f"workers= is only supported for the merge-capable methods "
+            f"({', '.join(PARALLEL_METHODS)}), not {label}: MIN-INCREMENT "
+            "ladder state is not mergeable, so its shards cannot be "
+            "combined without replaying raw values (see docs/API.md, "
+            "'Parallel ingest')"
+        )
+    # Imported lazily: repro.parallel pulls in concurrent.futures and the
+    # aggregation layer, which plain serial summarize() never needs.
+    from repro.parallel import ParallelSummarizer
+
+    summarizer = ParallelSummarizer(method, buckets=buckets, workers=workers)
+    return summarizer.summarize(values).histogram()
 
 
 def _universe_for(values: Sequence) -> int:

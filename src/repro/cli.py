@@ -5,6 +5,7 @@ Subcommands::
     repro-histogram list-datasets
     repro-histogram summarize --dataset dow-jones --algorithm min-merge -B 32
     repro-histogram stats --dataset dow-jones --algorithm min-increment -B 32
+    repro-histogram parallel-bench --dataset brownian --method min-merge -B 32
     repro-histogram fig5 [--paper]
     repro-histogram fig6 [--paper]
     repro-histogram fig7 [--paper]
@@ -85,6 +86,34 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", action="store_true",
         help="emit the raw registry snapshot as JSON instead of tables",
+    )
+
+    parallel = sub.add_parser(
+        "parallel-bench",
+        help="compare serial vs sharded multi-core ingest on one dataset",
+    )
+    parallel.add_argument(
+        "--dataset", default="brownian", help="dataset name (see list-datasets)"
+    )
+    parallel.add_argument(
+        "--method",
+        default="min-merge",
+        choices=("min-merge", "pwl-min-merge"),
+        help="merge-capable method to shard",
+    )
+    parallel.add_argument("-B", "--buckets", type=int, default=32)
+    parallel.add_argument("-n", "--points", type=int, default=200_000)
+    parallel.add_argument(
+        "--workers", default="auto",
+        help='worker count (int) or "auto" (default)',
+    )
+    parallel.add_argument(
+        "--backend", default=None, choices=("thread", "process"),
+        help="force an executor backend (default: pick automatically)",
+    )
+    parallel.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as JSON instead of the text report",
     )
 
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9"):
@@ -188,6 +217,75 @@ def _cmd_stats(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_parallel_bench(args: argparse.Namespace) -> str:
+    import json
+    import time
+
+    from repro.parallel import ParallelSummarizer, available_cpus
+
+    try:
+        workers = int(args.workers)
+    except ValueError:
+        workers = args.workers
+
+    values = dataset_by_name(args.dataset).loader(args.points)
+
+    serial = make_algorithm(args.method, buckets=args.buckets, hull_epsilon=None)
+    serial_result = run_stream(serial, values, name=args.method)
+
+    summarizer = ParallelSummarizer(
+        args.method,
+        buckets=args.buckets,
+        workers=workers,
+        backend=args.backend,
+    )
+    start = time.perf_counter()
+    parallel_summary = summarizer.summarize(values)
+    parallel_seconds = time.perf_counter() - start
+    shards = len(summarizer.plan(len(values)))
+    parallel_hist = parallel_summary.histogram()
+    speedup = (
+        serial_result.seconds / parallel_seconds
+        if parallel_seconds > 0 else float("inf")
+    )
+    parallel_rate = (
+        len(values) / parallel_seconds if parallel_seconds > 0 else float("inf")
+    )
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "method": args.method,
+            "items": len(values),
+            "buckets": args.buckets,
+            "cpus": available_cpus(),
+            "shards": shards,
+            "serial": {
+                "seconds": serial_result.seconds,
+                "error": serial_result.error,
+                "buckets": serial_result.buckets,
+            },
+            "parallel": {
+                "seconds": parallel_seconds,
+                "error": parallel_summary.error,
+                "buckets": len(parallel_hist),
+            },
+            "speedup": speedup,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    return (
+        f"dataset     : {args.dataset} ({len(values):,} points)\n"
+        f"method      : {args.method} (B={args.buckets}, "
+        f"{available_cpus()} CPUs, {shards} shards)\n"
+        f"serial      : {serial_result.seconds:.3f} s "
+        f"({serial_result.items_per_second:,.0f} items/s), "
+        f"error={serial_result.error:g}, buckets={serial_result.buckets}\n"
+        f"parallel    : {parallel_seconds:.3f} s "
+        f"({parallel_rate:,.0f} items/s), "
+        f"error={parallel_summary.error:g}, buckets={len(parallel_hist)}\n"
+        f"speedup     : {speedup:.2f}x"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -197,6 +295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_summarize(args))
     elif args.command == "stats":
         print(_cmd_stats(args))
+    elif args.command == "parallel-bench":
+        print(_cmd_parallel_bench(args))
     elif args.command == "fig5":
         print(render_series(experiments.fig5_memory_vs_buckets(paper_scale=args.paper)))
     elif args.command == "fig6":

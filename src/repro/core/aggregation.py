@@ -25,11 +25,19 @@ The same argument goes through for PWL summaries (hull union is the MERGE;
 the bucket error is monotone under union), up to the usual approximate-hull
 slack.  Property-tested in ``tests/test_aggregation.py`` over arbitrary
 segment splits and merge-tree shapes.
+
+**Observability.**  When any child is instrumented, the merged summary is
+instrumented too and its counters start from the *sum* of the children's
+lifecycle counters plus the merges the reduction itself performed, so
+per-segment (or per-shard, see ``repro.parallel``) counts aggregate instead
+of silently vanishing.  Latency timelines are process-local and are not
+merged.  Pass ``metrics=`` explicitly to direct the merged summary's events
+into a caller-owned registry.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.bucket import Bucket
 from repro.core.min_merge import MinMergeHistogram
@@ -43,8 +51,9 @@ from repro.geometry.kernel import ApproximateHull
 def merge_min_merge_summaries(
     summaries: Sequence[MinMergeHistogram],
     *,
-    buckets: int = None,
+    buckets: Optional[int] = None,
     reindex: bool = False,
+    metrics=None,
 ) -> MinMergeHistogram:
     """Combine MIN-MERGE summaries of consecutive stream segments.
 
@@ -59,15 +68,25 @@ def merge_min_merge_summaries(
     buckets:
         Target ``B`` of the combined summary; defaults to the smallest
         ``B`` among the children.
+    metrics:
+        Instrumentation for the merged summary (``True``, a registry, or a
+        facade; see ``docs/OBSERVABILITY.md``).  Defaults to instrumenting
+        exactly when at least one child is instrumented; either way the
+        children's counter totals are absorbed into the merged facade.
 
     Returns a fresh summary over the concatenation, satisfying the (1, 2)
     guarantee against the optimal ``B``-bucket histogram of the whole
-    stream (see the module docs for the argument).
+    stream (see the module docs for the argument).  ``items_seen`` of the
+    result is the *sum of the children's covered spans* -- the number of
+    items the buckets actually represent -- even when the first child's
+    index range starts past zero.
     """
     _validate_children(summaries)
     if buckets is None:
         buckets = min(s.target_buckets for s in summaries)
-    merged = MinMergeHistogram(buckets=buckets)
+    merged = MinMergeHistogram(
+        buckets=buckets, metrics=_combined_metrics_arg(summaries, metrics)
+    )
     offset = 0
     expected_next = None
     covered = 0
@@ -82,33 +101,37 @@ def merge_min_merge_summaries(
                 f"{expected_next}, got {first} (pass reindex=True for "
                 "independently-indexed children)"
             )
-        for bucket in child_buckets:
-            node = merged._list.append(
-                Bucket(bucket.beg + offset, bucket.end + offset,
-                       bucket.min, bucket.max)
-            )
-            if node.prev is not None:
-                merged._push_pair_key(node.prev)
-        expected_next = child_buckets[-1].end + offset + 1
-        covered += child_buckets[-1].end - child_buckets[0].beg + 1
-    merged._n = expected_next
-    while len(merged._list) > merged.working_buckets:
-        merged._merge_min_pair()
+        if offset:
+            child_buckets = [
+                Bucket(b.beg + offset, b.end + offset, b.min, b.max)
+                for b in child_buckets
+            ]
+        span = child_buckets[-1].end - child_buckets[0].beg + 1
+        merged.adopt_buckets(child_buckets, count=span)
+        expected_next = child_buckets[-1].end + 1
+        covered += span
+    reduction_merges = merged.compact()
+    _absorb_child_metrics(merged, summaries, reduction_merges)
     return merged
 
 
 def merge_pwl_summaries(
     summaries: Sequence[PwlMinMergeHistogram],
     *,
-    buckets: int = None,
+    buckets: Optional[int] = None,
     reindex: bool = False,
+    metrics=None,
 ) -> PwlMinMergeHistogram:
     """PWL analogue of :func:`merge_min_merge_summaries` (hull unions)."""
     _validate_children(summaries)
     if buckets is None:
         buckets = min(s.target_buckets for s in summaries)
     hull_epsilon = summaries[0].hull_epsilon
-    merged = PwlMinMergeHistogram(buckets=buckets, hull_epsilon=hull_epsilon)
+    merged = PwlMinMergeHistogram(
+        buckets=buckets,
+        hull_epsilon=hull_epsilon,
+        metrics=_combined_metrics_arg(summaries, metrics),
+    )
     offset = 0
     expected_next = None
     covered = 0
@@ -123,16 +146,38 @@ def merge_pwl_summaries(
                 f"{expected_next}, got {first} (pass reindex=True for "
                 "independently-indexed children)"
             )
-        for bucket in child_buckets:
-            node = merged._list.append(_shift_pwl_bucket(bucket, offset))
-            if node.prev is not None:
-                merged._push_pair_key(node.prev)
-        expected_next = child_buckets[-1].end + offset + 1
-        covered += child_buckets[-1].end - child_buckets[0].beg + 1
-    merged._n = expected_next
-    while len(merged._list) > merged.working_buckets:
-        merged._merge_min_pair()
+        # Always copy (even at offset 0): the merged summary mutates its
+        # buckets' hulls, and PWL snapshots share hull state with the child.
+        shifted = [_shift_pwl_bucket(b, offset) for b in child_buckets]
+        span = shifted[-1].end - shifted[0].beg + 1
+        merged.adopt_buckets(shifted, count=span)
+        expected_next = shifted[-1].end + 1
+        covered += span
+    reduction_merges = merged.compact()
+    _absorb_child_metrics(merged, summaries, reduction_merges)
     return merged
+
+
+def _combined_metrics_arg(summaries: Sequence, metrics):
+    """The ``metrics=`` argument for the merged summary's constructor."""
+    if metrics is not None:
+        return metrics
+    if any(getattr(s, "metrics", None) is not None for s in summaries):
+        return True
+    return None
+
+
+def _absorb_child_metrics(merged, summaries: Sequence, reduction_merges: int) -> None:
+    """Fold instrumented children's counters into the merged facade."""
+    facade = merged.metrics
+    if facade is None:
+        return
+    for child in summaries:
+        child_metrics = getattr(child, "metrics", None)
+        if child_metrics is not None:
+            facade.absorb_counters(child_metrics.counter_totals())
+    if reduction_merges:
+        facade.on_merge(reduction_merges)
 
 
 def _validate_children(summaries: Sequence) -> None:

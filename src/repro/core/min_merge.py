@@ -327,6 +327,50 @@ class MinMergeHistogram:
                 i += 1
         return merges
 
+    # -- aggregation hooks ---------------------------------------------------
+
+    def adopt_buckets(self, buckets: Iterable[Bucket], *, count: Optional[int] = None) -> None:
+        """Append pre-built buckets after the current tail.
+
+        The hook behind :func:`repro.core.aggregation.merge_min_merge_summaries`
+        and the parallel shard combiner: ``buckets`` must be in stream order
+        and start strictly after the current last covered index.  Each bucket
+        is copied, pair keys are maintained, and ``items_seen`` grows by
+        ``count`` (default: the covered index span).  No compaction happens
+        here -- call :meth:`compact` to re-establish the working budget.
+        """
+        last = self._list.tail.bucket.end if len(self._list) else None
+        span = 0
+        for bucket in buckets:
+            if last is not None and bucket.beg <= last:
+                raise InvalidParameterError(
+                    f"adopted bucket [{bucket.beg}, {bucket.end}] does not "
+                    f"follow the current tail (last covered index {last})"
+                )
+            last = bucket.end
+            span += bucket.end - bucket.beg + 1
+            node = self._list.append(
+                Bucket(bucket.beg, bucket.end, bucket.min, bucket.max)
+            )
+            if node.prev is not None and self.findmin == "heap":
+                self._push_pair_key(node.prev)
+        self._n += span if count is None else count
+
+    def compact(self) -> int:
+        """Merge cheapest adjacent pairs until the working budget holds.
+
+        Returns the number of merges performed.  A no-op on summaries
+        already within ``working_buckets``.
+        """
+        merges = 0
+        while len(self._list) > self.working_buckets:
+            if self.findmin == "heap":
+                self._merge_min_pair()
+            else:
+                self._merge_min_pair_linear()
+            merges += 1
+        return merges
+
     # -- queries -----------------------------------------------------------
 
     @property

@@ -216,6 +216,45 @@ class PwlMinMergeHistogram:
                 i += 1
         return merges
 
+    # -- aggregation hooks ---------------------------------------------------
+
+    def adopt_buckets(self, buckets: Iterable[PwlBucket], *, count: Optional[int] = None) -> None:
+        """Append pre-built PWL buckets after the current tail.
+
+        PWL analogue of :meth:`MinMergeHistogram.adopt_buckets`: ``buckets``
+        must be in stream order and start strictly after the current last
+        covered index.  The bucket objects are adopted as-is (callers that
+        need to keep theirs must pass copies -- hull state is shared), pair
+        keys are maintained, and ``items_seen`` grows by ``count`` (default:
+        the covered index span).  Call :meth:`compact` afterwards to
+        re-establish the working budget.
+        """
+        last = self._list.tail.bucket.end if len(self._list) else None
+        span = 0
+        for bucket in buckets:
+            if last is not None and bucket.beg <= last:
+                raise InvalidParameterError(
+                    f"adopted bucket [{bucket.beg}, {bucket.end}] does not "
+                    f"follow the current tail (last covered index {last})"
+                )
+            last = bucket.end
+            span += bucket.end - bucket.beg + 1
+            node = self._list.append(bucket)
+            if node.prev is not None:
+                self._push_pair_key(node.prev)
+        self._n += span if count is None else count
+
+    def compact(self) -> int:
+        """Merge cheapest adjacent pairs until the working budget holds.
+
+        Returns the number of merges performed.
+        """
+        merges = 0
+        while len(self._list) > self.working_buckets:
+            self._merge_min_pair()
+            merges += 1
+        return merges
+
     # -- queries ----------------------------------------------------------------
 
     @property

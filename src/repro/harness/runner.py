@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.baselines.rehist import RehistHistogram
 from repro.core.batch import as_batch_array
@@ -204,3 +204,40 @@ def run_stream(
             summary_metrics.snapshot() if summary_metrics is not None else None
         ),
     )
+
+
+def run_streams(
+    jobs: Sequence[Mapping],
+    *,
+    workers: Union[None, int, str] = None,
+) -> list:
+    """Run a grid of independent ``(algorithm config, stream)`` jobs.
+
+    Each job is a mapping with a ``"values"`` sequence, an ``"algorithm"``
+    registry name, optionally a ``"name"`` label for the result row, and
+    any :func:`make_algorithm` keyword (``buckets``, ``epsilon``,
+    ``universe``, ``window``, ``hull_epsilon``, ``metrics``).  Every job
+    builds its own summary, so the grid rows are independent and can be
+    dispatched across a thread pool: ``workers=None`` (default) stays
+    serial, an int pins the pool size, ``"auto"`` sizes to the CPU count.
+    Results come back as :class:`RunResult` rows in job order for every
+    ``workers`` setting.
+
+    Wall-clock ``seconds`` of individual rows measure the summary's own
+    ingest work; under a thread pool concurrent rows share cores (and,
+    for pure-Python ingest paths, the GIL), so per-row timings are only
+    comparable within a single ``workers`` setting.
+    """
+    # Imported here, not at module top: repro.parallel imports the
+    # aggregation layer, which plain run_stream() callers never need.
+    from repro.parallel.executor import map_tasks
+
+    def _run_job(job: Mapping) -> RunResult:
+        cfg = dict(job)
+        values = cfg.pop("values")
+        algorithm = cfg.pop("algorithm")
+        label = cfg.pop("name", algorithm)
+        summary = make_algorithm(algorithm, **cfg)
+        return run_stream(summary, values, name=label)
+
+    return map_tasks(_run_job, list(jobs), workers=workers)

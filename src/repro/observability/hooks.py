@@ -28,12 +28,16 @@ costs a single ``is None`` test; :func:`resolve_metrics` normalizes the
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 from repro.exceptions import InvalidParameterError
-from repro.observability.metrics import MetricsRegistry
+from repro.observability.metrics import Counter, MetricsRegistry
 
-__all__ = ["SummaryMetrics", "resolve_metrics"]
+__all__ = ["COUNTER_NAMES", "SummaryMetrics", "resolve_metrics"]
+
+#: The lifecycle counters every :class:`SummaryMetrics` facade owns, in the
+#: order they appear in :meth:`SummaryMetrics.counter_totals`.
+COUNTER_NAMES = ("inserts", "merges", "promotions", "flushes", "evictions")
 
 
 class SummaryMetrics:
@@ -106,6 +110,35 @@ class SummaryMetrics:
     def on_evict(self, n: int = 1) -> None:
         """``n`` buckets/streams dropped by expiry, trimming, or removal."""
         self.evictions.value += n
+
+    # -- aggregation across shards / children ------------------------------
+
+    def counter_totals(self) -> dict:
+        """The five lifecycle counter values as a plain dict.
+
+        The shape :meth:`absorb_counters` accepts, so per-shard totals can
+        cross a process boundary as JSON-safe data and be folded into a
+        combined summary's facade.
+        """
+        return {name: getattr(self, name).value for name in COUNTER_NAMES}
+
+    def absorb_counters(self, totals: Mapping[str, int]) -> None:
+        """Add child/shard counter totals into this facade.
+
+        Used by the aggregation merge functions and the parallel ingest
+        executor: when summaries of stream segments are combined, their
+        lifecycle counters sum (latency timelines stay process-local and
+        are *not* merged).  Keys must name counters from
+        :data:`COUNTER_NAMES`.
+        """
+        for name, value in totals.items():
+            counter = getattr(self, name, None)
+            if not isinstance(counter, Counter):
+                raise InvalidParameterError(
+                    f"unknown summary counter {name!r}; expected one of "
+                    f"{', '.join(COUNTER_NAMES)}"
+                )
+            counter.incr(int(value))
 
     # -- gauge wiring ------------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""Multi-core sharded summarization over the aggregation merge operator.
+
+The sensor-network computation of the paper, run on one machine's cores:
+split the stream into contiguous shards, batch-ingest each shard in a
+worker, and combine the shard summaries with the merge operator in a
+log-depth tree -- the (1, 2) guarantee survives, and results are
+deterministic regardless of scheduling.  See ``repro/parallel/executor.py``
+for the full design notes and ``docs/API.md`` ("Parallel ingest") for the
+user surface.
+"""
+
+from repro.parallel.executor import (
+    MERGEABLE_METHODS,
+    ParallelSummarizer,
+    available_cpus,
+    fork_available,
+    map_tasks,
+    resolve_workers,
+    summarize_parallel,
+)
+from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.reduce import tree_reduce
+
+__all__ = [
+    "MERGEABLE_METHODS",
+    "ParallelSummarizer",
+    "Shard",
+    "ShardPlan",
+    "available_cpus",
+    "fork_available",
+    "map_tasks",
+    "resolve_workers",
+    "summarize_parallel",
+    "tree_reduce",
+]

@@ -1,0 +1,75 @@
+"""Shard planning: contiguous splits of a stream for parallel ingest.
+
+A :class:`ShardPlan` cuts ``[0, total)`` into ``P`` contiguous, non-empty,
+index-annotated shards.  Contiguity is what makes the plan mergeable: each
+shard's summary covers a slice of the shared index space, so the shard
+summaries are exactly the "consecutive stream segments" that
+:func:`repro.core.aggregation.merge_min_merge_summaries` combines with the
+(1, 2) guarantee intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous piece of the stream: indices ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        """Number of items the shard covers."""
+        return self.stop - self.start
+
+    def slice(self) -> slice:
+        """The shard as a ``slice`` for sequence/ndarray views."""
+        return slice(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous split of ``total`` items into non-empty shards.
+
+    Build with :meth:`split`; iterate to get the :class:`Shard` pieces in
+    stream order.  Shard sizes differ by at most one item (the first
+    ``total % workers`` shards take the extra), so worker load is balanced
+    without breaking contiguity.
+    """
+
+    total: int
+    shards: tuple[Shard, ...]
+
+    @classmethod
+    def split(cls, total: int, workers: int) -> "ShardPlan":
+        """Plan ``min(workers, total)`` contiguous shards over ``total`` items."""
+        if total < 1:
+            raise InvalidParameterError(
+                f"cannot shard an empty stream (total={total})"
+            )
+        if workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {workers}"
+            )
+        pieces = min(workers, total)
+        base, extra = divmod(total, pieces)
+        shards = []
+        start = 0
+        for i in range(pieces):
+            stop = start + base + (1 if i < extra else 0)
+            shards.append(Shard(i, start, stop))
+            start = stop
+        return cls(total=total, shards=tuple(shards))
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)

@@ -1,0 +1,74 @@
+"""Log-depth tree reduction over the aggregation merge operator.
+
+Combining ``P`` shard summaries with one flat ``merge(children)`` call is a
+single O(P * B) reduction at the root; a pairwise tree instead merges
+``arity`` siblings at a time over ``ceil(log_arity(P))`` levels, so the
+combine itself can run level-by-level on an executor (each group within a
+level is independent).  The (1, 2) guarantee holds for *any* tree shape --
+every internal node is itself a valid merge of consecutive segments
+(property-tested in ``tests/test_aggregation.py``) -- but the resulting
+bucket boundaries depend on the shape, so equivalence gates must compare
+runs that use the same plan **and** the same tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+def tree_reduce(
+    children: Sequence,
+    merge: Callable,
+    *,
+    buckets: Optional[int] = None,
+    arity: int = 2,
+    root_metrics=None,
+    mapper: Optional[Callable] = None,
+):
+    """Reduce shard summaries to one summary via an ``arity``-ary merge tree.
+
+    Parameters
+    ----------
+    children:
+        Shard summaries in stream order (contiguous index ranges).
+    merge:
+        ``merge_min_merge_summaries`` or ``merge_pwl_summaries`` (or any
+        callable with the same ``(summaries, *, buckets, metrics)`` shape).
+    buckets:
+        Target ``B`` forwarded to every merge call.
+    arity:
+        Fan-in per tree node; ``2`` is the log-depth pairwise default, and
+        ``arity >= len(children)`` degenerates to a single flat fold.
+    root_metrics:
+        ``metrics=`` argument for the final (root) merge only, so a
+        caller-owned registry receives the fully aggregated counters
+        exactly once.
+    mapper:
+        Optional ``map``-shaped callable (e.g. ``ThreadPoolExecutor.map``)
+        used to run each level's independent merges concurrently; defaults
+        to the builtin serial ``map``.  The result is identical either way
+        -- the tree shape, not the schedule, determines the buckets.
+    """
+    if arity < 2:
+        raise InvalidParameterError(f"merge arity must be >= 2, got {arity}")
+    level = list(children)
+    if not level:
+        raise InvalidParameterError("cannot reduce zero summaries")
+    if mapper is None:
+        mapper = map
+    while len(level) > 1:
+        groups = [level[i : i + arity] for i in range(0, len(level), arity)]
+        is_root = len(groups) == 1
+
+        def _merge_group(group, _root=is_root):
+            if len(group) == 1:
+                return group[0]
+            kwargs = {"buckets": buckets}
+            if _root and root_metrics is not None:
+                kwargs["metrics"] = root_metrics
+            return merge(group, **kwargs)
+
+        level = list(mapper(_merge_group, groups))
+    return level[0]

@@ -103,6 +103,76 @@ class TestGuaranteePreserved:
         assert merged.target_buckets == 4
 
 
+class TestItemsSeenAccounting:
+    def test_items_seen_is_sum_of_covered_spans(self):
+        """Regression: merged ``_n`` used to be set to ``end + 1`` of the
+        last bucket, overcounting when the first child's range starts past
+        zero (e.g. merging summaries of a stream's later segments)."""
+        left = _child([7, 7, 7, 1, 1], 100)  # covers indices [100, 104]
+        right = _child([9, 2, 9], 105)  # covers [105, 107]
+        merged = merge_min_merge_summaries([left, right])
+        assert merged.items_seen == 8  # not 108
+        hist = merged.histogram()
+        assert hist.beg == 100
+        assert hist.end == 107
+
+    def test_items_seen_matches_children_sum(self):
+        chunks = _split(list(range(60)), 3)
+        start = 10
+        children = []
+        for chunk in chunks:
+            children.append(_child(chunk, start))
+            start += len(chunk)
+        merged = merge_min_merge_summaries(children)
+        assert merged.items_seen == 60
+
+    def test_pwl_items_seen_from_spans(self):
+        left = PwlMinMergeHistogram(buckets=3, hull_epsilon=None)
+        left._n = 50
+        left.extend([1, 2, 3, 4])
+        right = PwlMinMergeHistogram(buckets=3, hull_epsilon=None)
+        right._n = 54
+        right.extend([5, 6])
+        merged = merge_pwl_summaries([left, right])
+        assert merged.items_seen == 6
+
+
+class TestMergeMetrics:
+    def test_child_counters_aggregate_into_merged_facade(self):
+        left = MinMergeHistogram(buckets=4, metrics=True)
+        left.extend(list(range(40)))
+        right = MinMergeHistogram(buckets=4, metrics=True)
+        right._n = 40
+        right.extend([3, 1, 4, 1, 5] * 8)
+        merged = merge_min_merge_summaries([left, right])
+        assert merged.metrics is not None
+        totals = merged.metrics.counter_totals()
+        assert totals["inserts"] == 80
+        child_merges = (
+            left.metrics.counter_totals()["merges"]
+            + right.metrics.counter_totals()["merges"]
+        )
+        # The reduction tree's own merges are counted on top of the
+        # children's: the summaries arrive with at most 8 working buckets
+        # each, and compaction back to <= 8 costs at least one merge.
+        assert totals["merges"] > child_merges
+
+    def test_uninstrumented_children_stay_uninstrumented(self):
+        left = _child(list(range(30)), 0)
+        right = _child(list(range(30)), 30)
+        merged = merge_min_merge_summaries([left, right])
+        assert merged.metrics is None
+
+    def test_explicit_metrics_argument_wins(self):
+        left = _child(list(range(30)), 0)
+        right = _child(list(range(30)), 30)
+        merged = merge_min_merge_summaries([left, right], metrics=True)
+        assert merged.metrics is not None
+        # No instrumented children: only the reduction merges register.
+        totals = merged.metrics.counter_totals()
+        assert totals["inserts"] == 0
+
+
 class TestPwlAggregation:
     @staticmethod
     def _pwl_child(values, start, buckets=3):

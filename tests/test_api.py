@@ -40,16 +40,19 @@ class TestMethods:
         assert hist.end == 299
 
     @pytest.mark.parametrize(
-        "method", [m for m in SUMMARIZE_METHODS if m != "min-merge"]
+        "method",
+        [m for m in SUMMARIZE_METHODS if m not in ("min-merge", "pwl-min-merge")],
     )
     def test_bucket_budget_respected(self, method):
         values = [((i * 53) % 307) for i in range(400)]
         hist = summarize(values, 8, method=method)
         assert len(hist) <= 8
 
-    def test_min_merge_uses_up_to_double(self):
+    @pytest.mark.parametrize("method", ["min-merge", "pwl-min-merge"])
+    def test_merge_family_uses_up_to_double(self, method):
+        # The (1, 2) theorem trades bucket count for error: up to 2B buckets.
         values = [((i * 53) % 307) for i in range(400)]
-        hist = summarize(values, 8, method="min-merge")
+        hist = summarize(values, 8, method=method)
         assert len(hist) <= 16
 
     @settings(max_examples=25)
