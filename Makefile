@@ -1,16 +1,29 @@
 # Developer entry points.  `make check` is the pre-merge gate: the full
 # tier-1 test suite plus the observability overhead guard (which fails if
 # disabled instrumentation slows ingestion by more than its budget).
-# `make lint` needs ruff (`pip install -e .[lint]`) and degrades to a
-# no-op with a notice where it is not installed (CI always installs it).
+# `make lint` needs ruff (`pip install -e .[lint]`) and `make coverage`
+# needs pytest-cov (`pip install -e .[coverage]`); both degrade to a
+# no-op with a notice where the tool is not installed (CI installs them).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint check bench bench-smoke bench-parallel
+.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel
+
+# Line-coverage floor enforced by `make coverage` (and the CI coverage job).
+COV_FAIL_UNDER ?= 85
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q -m "not slow" \
+			--cov=src/repro --cov-report=term-missing:skip-covered \
+			--cov-fail-under=$(COV_FAIL_UNDER); \
+	else \
+		echo "pytest-cov not installed; skipping coverage (pip install -e .[coverage])"; \
+	fi
 
 overhead-guard:
 	$(PYTHON) benchmarks/bench_observability_overhead.py

@@ -58,10 +58,13 @@ from repro.baselines import (
     greedy_split_histogram,
 )
 from repro.exceptions import (
+    CheckpointCorruptionError,
     DomainError,
     EmptySummaryError,
+    InjectedFaultError,
     InvalidParameterError,
     ReproError,
+    UnsupportedCheckpointError,
 )
 from repro.memory import DEFAULT_MODEL, MemoryModel, MemoryReport
 from repro.metrics import (
@@ -78,6 +81,14 @@ from repro.core.aggregation import (
 )
 from repro.checkpoint import restore, state_dict
 from repro.fleet import StreamFleet
+from repro.resilience import (
+    CheckpointStore,
+    FaultPlan,
+    ItemJournal,
+    RecoveryReport,
+    inject_bit_flip,
+    inject_torn_write,
+)
 from repro.parallel import (
     ParallelSummarizer,
     ShardPlan,
@@ -147,6 +158,12 @@ __all__ = [
     "StreamFleet",
     "state_dict",
     "restore",
+    "CheckpointStore",
+    "FaultPlan",
+    "ItemJournal",
+    "RecoveryReport",
+    "inject_bit_flip",
+    "inject_torn_write",
     "L2MergeHistogram",
     "voptimal_error",
     "voptimal_histogram",
@@ -167,5 +184,8 @@ __all__ = [
     "InvalidParameterError",
     "DomainError",
     "EmptySummaryError",
+    "UnsupportedCheckpointError",
+    "CheckpointCorruptionError",
+    "InjectedFaultError",
     "__version__",
 ]

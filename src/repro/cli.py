@@ -13,6 +13,7 @@ Subcommands::
     repro-histogram fig9 [--paper]
     repro-histogram sliding-window
     repro-histogram wavelet
+    repro-histogram recover --dir checkpoints/
 
 The ``figN`` subcommands regenerate the series behind the corresponding
 figure in the paper; ``--paper`` switches from the quick interactive sizes
@@ -138,6 +139,19 @@ def _build_parser() -> argparse.ArgumentParser:
     plot.add_argument("-n", "--points", type=int, default=4096)
     plot.add_argument("--width", type=int, default=72)
     plot.add_argument("--height", type=int, default=16)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a summary from a checkpoint directory and report on it",
+    )
+    recover.add_argument(
+        "--dir", required=True,
+        help="checkpoint directory written by repro.resilience.CheckpointStore",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="emit the recovery report as JSON instead of text",
+    )
 
     plan = sub.add_parser(
         "plan",
@@ -286,6 +300,60 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_recover(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.checkpoint import state_dict
+    from repro.resilience import CheckpointStore
+
+    store = CheckpointStore(args.dir)
+    summary = store.recover()
+    report = store.last_recovery
+    kind = state_dict(summary).get("kind", type(summary).__name__)
+    # Fleets expose per-stream errors rather than a scalar surface.
+    error = getattr(summary, "error", None)
+    error = None if callable(error) else error
+    buckets = getattr(summary, "bucket_count", None)
+    if args.json:
+        payload = {
+            "directory": store.directory,
+            "kind": kind,
+            "generation": report.generation,
+            "snapshot_items": report.snapshot_items,
+            "journal_records": report.journal_records,
+            "replayed_items": report.replayed_items,
+            "skipped_generations": report.skipped_generations,
+            "items_seen": summary.items_seen,
+            "error": error,
+            "buckets": buckets,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    journal_line = (
+        f"journal     : {report.journal_records} record(s), "
+        f"{report.replayed_items} item(s) replayed"
+        if store.journal is not None
+        else "journal     : none"
+    )
+    skipped = (
+        f" ({report.skipped_generations} corrupt generation(s) skipped)"
+        if report.skipped_generations
+        else ""
+    )
+    lines = [
+        f"directory   : {store.directory}",
+        f"summary     : {kind}",
+        f"generation  : {report.generation}{skipped}",
+        journal_line,
+        f"items seen  : {summary.items_seen:,} "
+        f"({report.snapshot_items:,} from the snapshot)",
+    ]
+    if error is not None:
+        lines.append(f"error       : {error:g}")
+    if buckets is not None:
+        lines.append(f"buckets     : {buckets}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -312,6 +380,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_series(experiments.sliding_window_experiment()))
     elif args.command == "wavelet":
         print(render_series(experiments.wavelet_comparison()))
+    elif args.command == "recover":
+        print(_cmd_recover(args))
     elif args.command == "plot":
         print(_cmd_plot(args))
     elif args.command == "plan":

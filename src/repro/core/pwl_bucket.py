@@ -101,6 +101,33 @@ class PwlBucket:
             self.hull.maybe_compress()
         return True
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: index range plus the tagged hull state."""
+        if isinstance(self.hull, ApproximateHull):
+            hull_state = {"kind": "approx", **self.hull.to_state()}
+        else:
+            hull_state = {"kind": "exact", **self.hull.to_state()}
+        return {"beg": self.beg, "end": self.end, "hull": hull_state}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PwlBucket":
+        """Rebuild from :meth:`to_state` output (exact round trip).
+
+        The cached error is left unset; the next :attr:`error` read
+        recomputes it from the restored hull, which is deterministic, so a
+        resumed run stays bit-identical to an uninterrupted one.
+        """
+        bucket = object.__new__(cls)
+        bucket.beg = int(state["beg"])
+        bucket.end = int(state["end"])
+        hull_state = state["hull"]
+        if hull_state["kind"] == "approx":
+            bucket.hull = ApproximateHull.from_state(hull_state)
+        else:
+            bucket.hull = StreamingHull.from_state(hull_state)
+        bucket._cached_error = None
+        return bucket
+
     def merged_with(self, other: "PwlBucket") -> "PwlBucket":
         """MERGE for PWL MIN-MERGE: union of two adjacent buckets' hulls."""
         if other.beg != self.end + 1:

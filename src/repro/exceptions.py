@@ -9,6 +9,15 @@ single base class.  More specific subclasses identify the failure mode:
   ``[0, U)`` or is not a real number.
 * :class:`EmptySummaryError` -- a histogram was requested from a summary that
   has seen no data (or, in the sliding-window model, whose window is empty).
+* :class:`UnsupportedCheckpointError` -- :func:`repro.checkpoint.state_dict`
+  or :func:`repro.checkpoint.restore` was handed a summary type (or
+  checkpoint kind) outside the supported set.
+* :class:`CheckpointCorruptionError` -- a persisted snapshot or journal
+  failed validation (torn write, bit flip, missing generation) and no good
+  fallback exists.
+* :class:`InjectedFaultError` -- a deterministic test fault fired (see
+  :mod:`repro.resilience.faults`); never raised in production
+  configurations.
 """
 
 from __future__ import annotations
@@ -28,3 +37,30 @@ class DomainError(ReproError, ValueError):
 
 class EmptySummaryError(ReproError, RuntimeError):
     """A histogram was requested before any value was inserted."""
+
+
+class UnsupportedCheckpointError(InvalidParameterError):
+    """A summary type or checkpoint kind is outside the supported set.
+
+    Subclasses :class:`InvalidParameterError` so existing callers that
+    catch the broader class (or plain ``ValueError``) keep working; the
+    message names the offending type and the supported set.
+    """
+
+
+class CheckpointCorruptionError(ReproError, RuntimeError):
+    """No usable snapshot generation survived validation.
+
+    Raised by :class:`repro.resilience.CheckpointStore` when every retained
+    snapshot fails its checksum/parse checks, or when the journal tail is
+    inconsistent with the loaded snapshot.
+    """
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A deterministic fault from a :class:`repro.resilience.FaultPlan` fired.
+
+    Simulates a crash (checkpoint I/O) or a worker death (parallel shard
+    ingest) at a named fault point; test-only by construction -- no fault
+    plan, no faults.
+    """

@@ -115,6 +115,31 @@ class StreamFleet:
         if self._metrics is not None:
             self._bind_fleet_gauges()
 
+    @property
+    def algorithm(self) -> str:
+        """Registry name of the per-stream summary type."""
+        return self._algorithm
+
+    @property
+    def config(self) -> dict:
+        """Shared summary configuration (copy; buckets/epsilon/universe/window)."""
+        return dict(self._config)
+
+    def adopt_stream(self, stream_id: Hashable, summary) -> None:
+        """Install a pre-built summary for a new stream (checkpoint restore).
+
+        The summary must match the fleet's algorithm/configuration -- the
+        fleet does not re-validate it -- and the id must be unused.  Used by
+        :func:`repro.checkpoint.restore` to rebuild a fleet from per-stream
+        checkpoints; fleets restored this way are uninstrumented (see the
+        checkpoint instrumentation policy).
+        """
+        if stream_id in self._summaries:
+            raise InvalidParameterError(f"stream {stream_id!r} already exists")
+        self._summaries[stream_id] = summary
+        if self._metrics is not None:
+            self._bind_fleet_gauges()
+
     def remove_stream(self, stream_id: Hashable) -> None:
         """Drop a stream and free its summary."""
         try:

@@ -78,6 +78,28 @@ class StreamingHull:
             hull.add(x, y)
         return hull
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: both chains plus the points-seen counter.
+
+        The single-level undo buffer is deliberately not captured; a
+        restored hull supports :meth:`undo_last_add` only after its next
+        :meth:`add`, which is the only order the summaries use.
+        """
+        return {
+            "lower": [[_plain(x), _plain(y)] for x, y in self.lower],
+            "upper": [[_plain(x), _plain(y)] for x, y in self.upper],
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingHull":
+        """Rebuild a hull from :meth:`to_state` output (exact round trip)."""
+        hull = cls()
+        hull.lower = [(x, y) for x, y in state["lower"]]
+        hull.upper = [(x, y) for x, y in state["upper"]]
+        hull._count = int(state["count"])
+        return hull
+
     @property
     def point_count(self) -> int:
         """Number of points ever added (not hull vertices)."""
@@ -192,6 +214,11 @@ class StreamingHull:
         if self.lower or self.upper:
             if self.lower[0] != self.upper[0] or self.lower[-1] != self.upper[-1]:
                 raise AssertionError("chain endpoints differ")
+
+
+def _plain(value):
+    """Coerce numpy scalars to plain Python numbers for JSON payloads."""
+    return value.item() if hasattr(value, "item") else value
 
 
 def _rebuild_chain(

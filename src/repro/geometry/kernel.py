@@ -165,6 +165,22 @@ class ApproximateHull:
         """All hull vertices, counterclockwise."""
         return self._inner.vertices()
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: epsilon, compression threshold, inner hull."""
+        return {
+            "epsilon": self.epsilon,
+            "threshold": self._threshold,
+            "inner": self._inner.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ApproximateHull":
+        """Rebuild from :meth:`to_state` output (exact round trip)."""
+        hull = cls(float(state["epsilon"]))
+        hull._threshold = int(state["threshold"])
+        hull._inner = StreamingHull.from_state(state["inner"])
+        return hull
+
     def maybe_compress(self) -> bool:
         """Compress to the directional kernel if over threshold.
 

@@ -20,6 +20,9 @@ algorithm family (documented in ``docs/OBSERVABILITY.md``):
     Summary state was dropped for reasons other than merging: a
     sliding-window bucket expired or was trimmed, or a fleet stream was
     removed.
+``on_failure``
+    A unit of work failed and was retried or rerouted: a parallel shard
+    attempt whose worker died or raised (``repro.parallel.executor``).
 
 Summaries store ``None`` when uninstrumented, so the disabled fast path
 costs a single ``is None`` test; :func:`resolve_metrics` normalizes the
@@ -37,7 +40,14 @@ __all__ = ["COUNTER_NAMES", "SummaryMetrics", "resolve_metrics"]
 
 #: The lifecycle counters every :class:`SummaryMetrics` facade owns, in the
 #: order they appear in :meth:`SummaryMetrics.counter_totals`.
-COUNTER_NAMES = ("inserts", "merges", "promotions", "flushes", "evictions")
+COUNTER_NAMES = (
+    "inserts",
+    "merges",
+    "promotions",
+    "flushes",
+    "evictions",
+    "failures_retried",
+)
 
 
 class SummaryMetrics:
@@ -64,6 +74,7 @@ class SummaryMetrics:
         "promotions",
         "flushes",
         "evictions",
+        "failures_retried",
         "insert_latency",
     )
 
@@ -83,6 +94,7 @@ class SummaryMetrics:
         self.promotions = registry.counter(prefix + "promotions")
         self.flushes = registry.counter(prefix + "flushes")
         self.evictions = registry.counter(prefix + "evictions")
+        self.failures_retried = registry.counter(prefix + "failures_retried")
         self.insert_latency = registry.latency(
             prefix + "insert_latency", buckets=latency_buckets
         )
@@ -111,10 +123,14 @@ class SummaryMetrics:
         """``n`` buckets/streams dropped by expiry, trimming, or removal."""
         self.evictions.value += n
 
+    def on_failure(self, n: int = 1) -> None:
+        """``n`` failed work attempts that were retried or rerouted."""
+        self.failures_retried.value += n
+
     # -- aggregation across shards / children ------------------------------
 
     def counter_totals(self) -> dict:
-        """The five lifecycle counter values as a plain dict.
+        """The lifecycle counter values as a plain dict.
 
         The shape :meth:`absorb_counters` accepts, so per-shard totals can
         cross a process boundary as JSON-safe data and be folded into a

@@ -38,6 +38,20 @@ without replaying values -- so asking for it raises
 is shard -> min-merge -> refeed the 2B representatives, at the cost of the
 (1+eps, 1) guarantee degrading to min-merge's (1, 2)).
 
+Worker-failure recovery: shards are dispatched as individual futures, and
+a shard whose worker dies (``BrokenProcessPool``) or whose execution
+raises is **retried** in later waves with exponential backoff -- the pool
+is re-created if it broke -- and after ``max_shard_retries`` failed pool
+attempts the shard **degrades to in-process execution** in the parent, so
+a flaky pool can slow a run down but not change its answer (the retried
+result is bit-identical to :meth:`ParallelSummarizer.reference`).  Every
+failed attempt is surfaced through the ``failures_retried`` metrics
+counter, which aggregates through merges like the other lifecycle
+counters.  Deterministic worker deaths for tests come from a
+:class:`~repro.resilience.FaultPlan` with ``shard:<i>`` (poison: the
+attempt raises) or ``shard.kill:<i>`` (hard ``os._exit`` on the process
+backend; degrades to poison on threads, which share the process) points.
+
 Observability: with ``metrics=`` set, every worker runs instrumented and
 the combined summary's facade reports the **sum** of the per-shard
 lifecycle counters plus the merges performed by the reduction tree itself
@@ -48,7 +62,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -59,7 +78,7 @@ from repro.core.bucket import Bucket
 from repro.core.interface import DEFAULT_HULL_EPSILON
 from repro.core.min_merge import MinMergeHistogram
 from repro.core.pwl_min_merge import PwlMinMergeHistogram
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InjectedFaultError, InvalidParameterError
 from repro.observability.hooks import resolve_metrics
 from repro.parallel.plan import ShardPlan
 from repro.parallel.reduce import tree_reduce
@@ -227,12 +246,30 @@ def _rebuild_child(payload: tuple, spec: dict):
     return summary
 
 
+def _maybe_inject(mode: Optional[str]) -> None:
+    """Act on an injected shard fault: poison raises, kill dies hard."""
+    if mode is None:
+        return
+    if mode == "kill":
+        os._exit(86)
+    raise InjectedFaultError(f"injected shard fault ({mode})")
+
+
 def _forked_shard(args: tuple) -> tuple:
     """Pool-worker entry point: summarize one shard of the inherited array."""
-    start, stop, spec = args
+    start, stop, spec, inject = args
+    _maybe_inject(inject)
     segment = _FORK_PAYLOAD[start:stop]
     summary = _summarize_shard(segment, start, spec)
     return _shard_payload(summary, spec, start)
+
+
+def _inprocess_payload(data, shard, spec: dict, inject: Optional[str]) -> tuple:
+    """Degraded in-process shard run, normalized to the payload form."""
+    # The parent cannot os._exit itself, so kill degrades to poison here.
+    _maybe_inject("poison" if inject else None)
+    summary = _summarize_shard(data[shard.slice()], shard.start, spec)
+    return _shard_payload(summary, spec, shard.start)
 
 
 class ParallelSummarizer:
@@ -263,7 +300,19 @@ class ParallelSummarizer:
         a per-method profile (:data:`_AUTO_CUTOFF`).
     metrics:
         Opt-in instrumentation (``True``, a registry, or a facade).  The
-        facade on the *combined* summary aggregates per-shard counters.
+        facade on the *combined* summary aggregates per-shard counters,
+        including ``failures_retried`` (one per failed shard attempt).
+    max_shard_retries:
+        Pool attempts per shard before it degrades to in-process
+        execution in the parent (>= 1; default 2 = one retry).
+    retry_backoff:
+        Base of the exponential backoff between retry waves, in seconds
+        (wave ``k`` sleeps ``retry_backoff * 2**(k-1)``); ``0`` disables
+        sleeping (tests).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` consulted once per
+        shard attempt at the ``shard:<i>`` / ``shard.kill:<i>`` points
+        (tests only; ``reference`` never consults it).
 
     Examples
     --------
@@ -287,6 +336,9 @@ class ParallelSummarizer:
         findmin: str = "heap",
         serial_cutoff: Optional[int] = None,
         metrics=None,
+        max_shard_retries: int = 2,
+        retry_backoff: float = 0.05,
+        fault_plan=None,
     ):
         if method not in MERGEABLE_METHODS:
             raise InvalidParameterError(
@@ -312,6 +364,17 @@ class ParallelSummarizer:
             raise InvalidParameterError(
                 f"serial_cutoff must be >= 1, got {serial_cutoff}"
             )
+        if max_shard_retries < 1:
+            raise InvalidParameterError(
+                f"max_shard_retries must be >= 1, got {max_shard_retries}"
+            )
+        if retry_backoff < 0:
+            raise InvalidParameterError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff = retry_backoff
+        self.fault_plan = fault_plan
         self.method = method
         self.buckets = buckets
         self.workers = workers
@@ -420,30 +483,115 @@ class ParallelSummarizer:
             return "thread"
         return "process"
 
+    def _take_fault(self, index: int) -> Optional[str]:
+        """Consume one injected fault for shard ``index``, if planned."""
+        plan = self.fault_plan
+        if plan is None:
+            return None
+        if plan.take(f"shard.kill:{index}"):
+            return "kill"
+        if plan.take(f"shard:{index}"):
+            return "poison"
+        return None
+
+    def _note_failures(self, count: int) -> None:
+        if count and self._metrics is not None:
+            self._metrics.on_failure(count)
+
+    def _run_with_recovery(
+        self, plan: ShardPlan, *, pool_factory, submit_shard, run_inprocess
+    ) -> list:
+        """Dispatch every shard, retrying failures wave by wave.
+
+        Wave ``k`` resubmits the shards that failed wave ``k-1`` after an
+        exponential-backoff sleep, on a fresh pool if the old one broke
+        (a worker died).  Shards still failing after
+        ``max_shard_retries`` pool attempts run in-process; an in-process
+        failure propagates to the caller.
+        """
+        shards = plan.shards
+        results = [None] * len(shards)
+        pending = list(range(len(shards)))
+        attempt = 0
+        pool = pool_factory()
+        try:
+            while pending:
+                if attempt and self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                submitted = []
+                failed = []
+                broken = False
+                for index in pending:
+                    inject = self._take_fault(index)
+                    try:
+                        submitted.append(
+                            (index, submit_shard(pool, shards[index], inject))
+                        )
+                    except BrokenExecutor:
+                        broken = True
+                        failed.append(index)
+                for index, future in submitted:
+                    try:
+                        results[index] = future.result()
+                    except Exception as exc:
+                        if isinstance(exc, BrokenExecutor):
+                            broken = True
+                        failed.append(index)
+                attempt += 1
+                self._note_failures(len(failed))
+                if failed and broken:
+                    pool.shutdown(wait=False)
+                    pool = pool_factory()
+                if attempt >= self.max_shard_retries:
+                    for index in sorted(failed):
+                        results[index] = run_inprocess(
+                            shards[index], self._take_fault(index)
+                        )
+                    pending = []
+                else:
+                    pending = sorted(failed)
+        finally:
+            pool.shutdown(wait=True)
+        return results
+
     def _run_thread_pool(self, data, plan: ShardPlan) -> list:
         spec = self._worker_spec()
-        with ThreadPoolExecutor(max_workers=len(plan)) as pool:
-            return list(
-                pool.map(
-                    lambda shard: _summarize_shard(
-                        data[shard.slice()], shard.start, spec
-                    ),
-                    plan,
-                )
-            )
+
+        def attempt(shard, inject):
+            # Threads share the process, so kill degrades to poison here.
+            _maybe_inject("poison" if inject else None)
+            return _summarize_shard(data[shard.slice()], shard.start, spec)
+
+        return self._run_with_recovery(
+            plan,
+            pool_factory=lambda: ThreadPoolExecutor(max_workers=len(plan)),
+            submit_shard=lambda pool, shard, inject: pool.submit(
+                attempt, shard, inject
+            ),
+            run_inprocess=attempt,
+        )
 
     def _run_process_pool(self, data, plan: ShardPlan) -> list:
         global _FORK_PAYLOAD
         spec = self._worker_spec()
-        tasks = [(shard.start, shard.stop, spec) for shard in plan]
         context = multiprocessing.get_context("fork")
         # Publish the array, then fork: workers inherit a zero-copy view.
+        # The payload stays published across the recovery waves so pools
+        # re-created after a worker death re-fork the same view.
         _FORK_PAYLOAD = data
         try:
-            with ProcessPoolExecutor(
-                max_workers=len(plan), mp_context=context
-            ) as pool:
-                payloads = list(pool.map(_forked_shard, tasks))
+            payloads = self._run_with_recovery(
+                plan,
+                pool_factory=lambda: ProcessPoolExecutor(
+                    max_workers=len(plan), mp_context=context
+                ),
+                submit_shard=lambda pool, shard, inject: pool.submit(
+                    _forked_shard, (shard.start, shard.stop, spec, inject)
+                ),
+                run_inprocess=lambda shard, inject: _inprocess_payload(
+                    data, shard, spec, inject
+                ),
+            )
         finally:
             _FORK_PAYLOAD = None
         return [_rebuild_child(payload, spec) for payload in payloads]

@@ -1,0 +1,41 @@
+"""Crash consistency and fault injection for streaming summaries.
+
+The resilience layer makes the paper's unattended deployment scenarios
+(sensor nodes, long-lived window monitors) survivable:
+
+* :class:`CheckpointStore` -- atomic snapshot rotation with versioned,
+  checksummed envelopes, corrupt-generation fallback, and an optional
+  append-only :class:`ItemJournal` so ``recover()`` is bit-identical to an
+  uninterrupted run;
+* :class:`FaultPlan` plus the :func:`inject_torn_write` /
+  :func:`inject_bit_flip` corruption injectors -- a deterministic harness
+  the test suite uses to crash every named point in the write protocol
+  (and to kill or poison parallel shard workers).
+
+See ``docs/RESILIENCE.md`` for the snapshot format, the journal replay
+semantics, and the full fault-point catalogue.
+"""
+
+from repro.resilience.faults import (
+    CHECKPOINT_FAULT_POINTS,
+    FaultPlan,
+    inject_bit_flip,
+    inject_torn_write,
+)
+from repro.resilience.journal import ItemJournal
+from repro.resilience.store import (
+    SNAPSHOT_VERSION,
+    CheckpointStore,
+    RecoveryReport,
+)
+
+__all__ = [
+    "CHECKPOINT_FAULT_POINTS",
+    "SNAPSHOT_VERSION",
+    "CheckpointStore",
+    "FaultPlan",
+    "ItemJournal",
+    "RecoveryReport",
+    "inject_bit_flip",
+    "inject_torn_write",
+]

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for crash and worker-failure testing.
+
+A :class:`FaultPlan` is a countdown table over *named fault points*: the
+checkpoint store, journal, and parallel executor consult the plan at each
+point and raise :class:`~repro.exceptions.InjectedFaultError` while the
+point's budget lasts.  No plan (the production default) means no checks at
+all, so the hooks cost one ``is None`` test.
+
+Fault points are consulted in a fixed order by deterministic code, so a
+given (plan, workload) pair always crashes at the same instruction -- the
+property suite in ``tests/test_resilience.py`` relies on this to enumerate
+every crash point exhaustively.
+
+The named points (see ``docs/RESILIENCE.md`` for where each one sits in
+the write protocol):
+
+==========================  ====================================================
+point                       fires
+==========================  ====================================================
+``snapshot.tmp-write``      mid-write of the temp file (torn temp left behind)
+``snapshot.fsync``          after the temp is written, before its fsync
+``snapshot.rename``         after fsync, before the atomic rename
+``snapshot.commit``         after the rename, before the directory fsync
+``snapshot.prune``          after deleting one stale generation
+``journal.append``          mid-append (torn record at the journal tail)
+``journal.fsync``           after the record is written, before its fsync
+``shard:<i>``               shard ``i``'s execution raises (poisoned worker)
+``shard.kill:<i>``          shard ``i``'s process dies via ``os._exit``
+==========================  ====================================================
+
+Torn-write and bit-flip *corruption* injectors round out the toolkit for
+testing snapshot validation without a plan in the write path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Mapping, Union
+
+from repro.exceptions import InjectedFaultError, InvalidParameterError
+
+#: Fault points with a fixed name (the shard points are parameterized).
+CHECKPOINT_FAULT_POINTS = (
+    "snapshot.tmp-write",
+    "snapshot.fsync",
+    "snapshot.rename",
+    "snapshot.commit",
+    "snapshot.prune",
+    "journal.append",
+    "journal.fsync",
+)
+
+
+class FaultPlan:
+    """Countdown table mapping fault-point names to remaining failures.
+
+    Parameters
+    ----------
+    failures:
+        Either a mapping ``{point_name: budget}`` or an iterable of point
+        names (each failing once, starting at its first occurrence).  A
+        budget is an int ``count`` (fail the next ``count`` occurrences)
+        or a pair ``(skip, count)`` (let ``skip`` occurrences pass first
+        -- e.g. ``("snapshot.rename", (1, 1))`` survives the first
+        checkpoint and crashes the second).  Counts must be positive.
+
+    Examples
+    --------
+    >>> plan = FaultPlan({"snapshot.rename": 1})
+    >>> plan.take("snapshot.rename")  # consumed
+    True
+    >>> plan.take("snapshot.rename")  # budget exhausted
+    False
+    """
+
+    def __init__(
+        self, failures: Union[Mapping[str, object], Iterable[str]] = ()
+    ) -> None:
+        table: dict[str, list[int]] = {}
+        if isinstance(failures, Mapping):
+            for name, budget in failures.items():
+                if isinstance(budget, (tuple, list)):
+                    skip, count = budget
+                else:
+                    skip, count = 0, budget
+                table[str(name)] = [int(skip), int(count)]
+        else:
+            for name in failures:
+                entry = table.setdefault(str(name), [0, 0])
+                entry[1] += 1
+        for name, (skip, count) in table.items():
+            if count < 1 or skip < 0:
+                raise InvalidParameterError(
+                    f"fault budget for {name!r} must have count >= 1 and "
+                    f"skip >= 0, got skip={skip}, count={count}"
+                )
+        self._budgets = table
+        #: Names of the faults fired so far, in order (for test assertions).
+        self.fired: list[str] = []
+
+    @classmethod
+    def crash_once(cls, *points: str) -> "FaultPlan":
+        """A plan that fails each of ``points`` exactly once."""
+        return cls(points)
+
+    @classmethod
+    def crash_at(cls, point: str, occurrence: int = 1) -> "FaultPlan":
+        """Fail the ``occurrence``-th pass through ``point`` (1-based)."""
+        if occurrence < 1:
+            raise InvalidParameterError(
+                f"occurrence must be >= 1, got {occurrence}"
+            )
+        return cls({point: (occurrence - 1, 1)})
+
+    def remaining(self, point: str) -> int:
+        """Failures left at ``point`` (not counting skipped occurrences)."""
+        entry = self._budgets.get(point)
+        return entry[1] if entry else 0
+
+    def take(self, point: str) -> bool:
+        """Consume one occurrence of ``point``; True when it should fail."""
+        entry = self._budgets.get(point)
+        if entry is None or entry[1] <= 0:
+            return False
+        if entry[0] > 0:
+            entry[0] -= 1
+            return False
+        entry[1] -= 1
+        self.fired.append(point)
+        return True
+
+    def fire(self, point: str) -> None:
+        """Raise :class:`InjectedFaultError` if ``point`` has budget left."""
+        if self.take(point):
+            raise InjectedFaultError(f"injected fault at {point!r}")
+
+    def __repr__(self) -> str:
+        live = {k: tuple(v) for k, v in self._budgets.items() if v[1] > 0}
+        return f"FaultPlan({live!r}, fired={len(self.fired)})"
+
+
+def fire(plan, point: str) -> None:
+    """Module-level convenience: ``plan.fire(point)`` tolerating ``None``."""
+    if plan is not None:
+        plan.fire(point)
+
+
+# -- corruption injectors -----------------------------------------------------
+
+
+def inject_torn_write(path, keep_fraction: float = 0.5) -> int:
+    """Truncate a file to a prefix, simulating a write torn by power loss.
+
+    Returns the number of bytes kept.  ``keep_fraction`` of the current
+    size is retained (rounded down), so ``0.0`` empties the file.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise InvalidParameterError(
+            f"keep_fraction must lie in [0, 1), got {keep_fraction}"
+        )
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def inject_bit_flip(path, offset: int = -1, bit: int = 0) -> int:
+    """Flip one bit of a file in place, simulating silent media corruption.
+
+    ``offset`` indexes the byte to corrupt (negative offsets count from the
+    end, Python-style); ``bit`` in ``[0, 8)`` selects the bit.  Returns the
+    absolute byte offset that was flipped.
+    """
+    if not 0 <= bit < 8:
+        raise InvalidParameterError(f"bit must lie in [0, 8), got {bit}")
+    size = os.path.getsize(path)
+    if size == 0:
+        raise InvalidParameterError(f"cannot bit-flip empty file {path!r}")
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise InvalidParameterError(
+            f"offset {offset} out of range for {size}-byte file"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << bit)]))
+    return offset

@@ -10,7 +10,7 @@ from repro.checkpoint import from_json, restore, state_dict, to_json
 from repro.core.min_increment import MinIncrementHistogram
 from repro.core.min_merge import MinMergeHistogram
 from repro.core.sliding_window import SlidingWindowMinIncrement
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, UnsupportedCheckpointError
 
 UNIVERSE = 512
 streams = st.lists(st.integers(0, UNIVERSE - 1), min_size=1, max_size=150)
@@ -29,12 +29,21 @@ def _snapshot(summary) -> tuple:
 
 class TestValidation:
     def test_unsupported_type(self):
+        with pytest.raises(UnsupportedCheckpointError) as excinfo:
+            state_dict(object())
+        # The error names the offending type and the supported set.
+        assert "object" in str(excinfo.value)
+        assert "min-merge" in str(excinfo.value)
+
+    def test_unsupported_type_is_invalid_parameter(self):
+        # Subclass relationship keeps pre-existing handlers working.
         with pytest.raises(InvalidParameterError):
             state_dict(object())
 
     def test_unknown_kind(self):
-        with pytest.raises(InvalidParameterError):
+        with pytest.raises(UnsupportedCheckpointError) as excinfo:
             restore({"kind": "count-min-sketch"})
+        assert "count-min-sketch" in str(excinfo.value)
 
     def test_malformed_payload(self):
         with pytest.raises(InvalidParameterError):

@@ -1,0 +1,480 @@
+"""Crash-anywhere recovery: every summary, every fault point, bit-identical.
+
+The central property: for any registry algorithm and any named fault point
+in the checkpoint write protocol, crashing there, re-opening the store in a
+"fresh process", recovering, and finishing the stream yields a summary
+whose ``state_dict`` is *bit-identical* to an uninterrupted run's.  The
+corruption tests add the fallback guarantee: a torn or bit-flipped newest
+snapshot is skipped and the previous good generation (plus journal replay)
+still reproduces the oracle exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import state_dict
+from repro.exceptions import (
+    CheckpointCorruptionError,
+    InjectedFaultError,
+    InvalidParameterError,
+)
+from repro.harness.runner import ALGORITHM_NAMES, make_algorithm
+from repro.resilience import (
+    CHECKPOINT_FAULT_POINTS,
+    CheckpointStore,
+    FaultPlan,
+    ItemJournal,
+    inject_bit_flip,
+    inject_torn_write,
+)
+
+UNIVERSE = 512
+WINDOW = 96
+
+#: Store-level fault points that fire during a plain ingest/save cycle
+#: (``snapshot.prune`` needs retention pressure and is exercised separately).
+CYCLE_FAULTS = tuple(
+    p for p in CHECKPOINT_FAULT_POINTS if p != "snapshot.prune"
+)
+
+
+def _make(name):
+    return make_algorithm(
+        name, buckets=4, epsilon=0.25, universe=UNIVERSE, window=WINDOW
+    )
+
+
+def _values(n=300):
+    return [(i * 37) % 211 for i in range(n)]
+
+
+def _oracle_state(name, values, split):
+    oracle = _make(name)
+    oracle.extend(values[:split])
+    oracle.extend(values[split:])
+    return state_dict(oracle)
+
+
+def _crash_then_recover(name, fault, values, split, directory, *, keep=2):
+    """Ingest/save, crash at ``fault``, recover in a fresh store, finish."""
+    occurrence = 1 if fault == "snapshot.prune" else 2
+    plan = FaultPlan.crash_at(fault, occurrence=occurrence)
+    store = CheckpointStore(
+        directory, keep=keep, journal=True, fault_plan=plan
+    )
+    running = _make(name)
+    crashed = False
+    try:
+        store.ingest(running, values[:split])
+        store.save(running)
+        store.ingest(running, values[split:])
+        store.save(running)
+    except InjectedFaultError:
+        crashed = True
+    assert crashed, f"fault {fault!r} never fired"
+    assert plan.fired == [fault]
+
+    # A fresh store models the restarted process; "auto" finds the journal.
+    fresh = CheckpointStore(directory, keep=keep)
+    recovered = fresh.recover(factory=lambda: _make(name))
+    rest = values[recovered.items_seen:]
+    if rest:
+        recovered.extend(rest)
+    return recovered, fresh.last_recovery
+
+
+class TestCrashMatrix:
+    """The tentpole guarantee, enumerated exhaustively."""
+
+    @pytest.mark.parametrize("fault", CYCLE_FAULTS)
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_crash_anywhere_recovers_bit_identical(self, name, fault, tmp_path):
+        values = _values()
+        recovered, report = _crash_then_recover(
+            name, fault, values, 150, tmp_path
+        )
+        assert state_dict(recovered) == _oracle_state(name, values, 150)
+        assert recovered.items_seen == len(values)
+        assert report.skipped_generations == 0
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_crash_during_prune_recovers_bit_identical(self, name, tmp_path):
+        # keep=1 forces the second save to prune the first generation.
+        values = _values()
+        recovered, _ = _crash_then_recover(
+            name, "snapshot.prune", values, 150, tmp_path, keep=1
+        )
+        assert state_dict(recovered) == _oracle_state(name, values, 150)
+
+    def test_crash_before_first_snapshot_uses_factory(self, tmp_path):
+        values = _values(120)
+        plan = FaultPlan.crash_at("journal.append", occurrence=2)
+        store = CheckpointStore(tmp_path, journal=True, fault_plan=plan)
+        running = _make("min-merge")
+        with pytest.raises(InjectedFaultError):
+            store.ingest(running, values[:60])
+            store.ingest(running, values[60:])
+
+        fresh = CheckpointStore(tmp_path)
+        recovered = fresh.recover(factory=lambda: _make("min-merge"))
+        assert fresh.last_recovery.generation is None
+        recovered.extend(values[recovered.items_seen:])
+        assert state_dict(recovered) == _oracle_state("min-merge", values, 60)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, UNIVERSE - 1), min_size=20, max_size=120),
+        cut=st.floats(0.1, 0.9),
+        fault=st.sampled_from(CYCLE_FAULTS),
+        name=st.sampled_from(("min-merge", "pwl-min-increment", "rehist")),
+    )
+    def test_crash_recovery_property(self, values, cut, fault, name):
+        split = max(1, int(len(values) * cut))
+        with tempfile.TemporaryDirectory() as directory:
+            recovered, _ = _crash_then_recover(
+                name, fault, values, split, directory
+            )
+        assert state_dict(recovered) == _oracle_state(name, values, split)
+
+
+class TestCorruptionFallback:
+    """Bad newest snapshot -> previous good generation + journal tail."""
+
+    def _store_with_two_generations(self, name, values, directory):
+        store = CheckpointStore(directory, journal=True)
+        running = _make(name)
+        store.ingest(running, values[:150])
+        store.save(running)
+        store.ingest(running, values[150:])
+        store.save(running)
+        return store
+
+    @pytest.mark.parametrize("corrupt", ["bit-flip", "torn"])
+    @pytest.mark.parametrize("name", ["min-merge", "sliding-window-pwl"])
+    def test_corrupt_newest_falls_back_a_generation(
+        self, name, corrupt, tmp_path
+    ):
+        values = _values()
+        store = self._store_with_two_generations(name, values, tmp_path)
+        newest = store.generations()[-1]
+        path = os.path.join(str(tmp_path), f"snapshot-{newest:08d}.json")
+        if corrupt == "bit-flip":
+            inject_bit_flip(path, offset=-20)
+        else:
+            inject_torn_write(path, keep_fraction=0.6)
+
+        fresh = CheckpointStore(tmp_path)
+        recovered = fresh.recover()
+        report = fresh.last_recovery
+        assert report.skipped_generations == 1
+        assert report.generation == newest - 1
+        # The journal tail still covers everything past the older snapshot.
+        assert state_dict(recovered) == _oracle_state(name, values, 150)
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        values = _values()
+        store = self._store_with_two_generations(
+            "min-merge", values, tmp_path
+        )
+        for generation in store.generations():
+            inject_torn_write(
+                os.path.join(
+                    str(tmp_path), f"snapshot-{generation:08d}.json"
+                ),
+                keep_fraction=0.3,
+            )
+        with pytest.raises(CheckpointCorruptionError):
+            CheckpointStore(tmp_path).recover()
+
+    def test_empty_store_without_factory_raises(self, tmp_path):
+        with pytest.raises(CheckpointCorruptionError):
+            CheckpointStore(tmp_path).recover()
+
+    def test_journal_gap_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, journal=True)
+        running = _make("min-merge")
+        running.extend(range(5))
+        store.save(running)
+        # A record claiming to start past what the snapshot covers.
+        store.journal.append([1, 2, 3], start=10)
+        with pytest.raises(CheckpointCorruptionError):
+            CheckpointStore(tmp_path).recover()
+
+
+class TestCheckpointStore:
+    def test_retention_prunes_old_generations(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2, journal=False)
+        running = _make("min-merge")
+        for round_no in range(4):
+            running.extend(_values(50))
+            store.save(running)
+        assert store.generations() == [3, 4]
+
+    def test_crashed_save_leaves_no_temp_after_next_save(self, tmp_path):
+        plan = FaultPlan.crash_at("snapshot.tmp-write")
+        store = CheckpointStore(tmp_path, journal=False, fault_plan=plan)
+        running = _make("min-merge")
+        running.extend(_values(50))
+        with pytest.raises(InjectedFaultError):
+            store.save(running)
+        assert any(n.endswith(".json.tmp") for n in os.listdir(tmp_path))
+        store.save(running)
+        assert not any(n.endswith(".json.tmp") for n in os.listdir(tmp_path))
+
+    def test_save_without_journal_then_recover_restarts_at_snapshot(
+        self, tmp_path
+    ):
+        store = CheckpointStore(tmp_path, journal=False)
+        running = _make("min-merge")
+        running.extend(_values(100))
+        store.save(running)
+        recovered = CheckpointStore(tmp_path).recover()
+        assert recovered.items_seen == 100
+        assert state_dict(recovered) == state_dict(running)
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestItemJournal:
+    def test_replay_round_trips_batches(self, tmp_path):
+        journal = ItemJournal(tmp_path / "journal.log")
+        journal.append([1.5, 2, 3], start=0)
+        journal.append([4, 5], start=3)
+        assert list(journal.replay()) == [(0, [1.5, 2, 3]), (3, [4, 5])]
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = ItemJournal(path)
+        journal.append([1, 2], start=0)
+        journal.append([3, 4], start=2)
+        size = os.path.getsize(path)
+        inject_torn_write(path, keep_fraction=(size - 4) / size)
+        replayed = list(journal.replay())
+        assert replayed == [(0, [1, 2])]
+        assert journal.ignored_tail_bytes() > 0
+
+    def test_bit_flip_stops_replay_at_bad_record(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = ItemJournal(path)
+        journal.append([1, 2], start=0)
+        first_record = os.path.getsize(path)
+        journal.append([3, 4], start=2)
+        inject_bit_flip(path, offset=first_record + 12)
+        assert list(journal.replay()) == [(0, [1, 2])]
+
+    def test_compact_keeps_needed_tail(self, tmp_path):
+        journal = ItemJournal(tmp_path / "journal.log")
+        journal.append([0, 1, 2], start=0)
+        journal.append([3, 4, 5], start=3)
+        journal.append([6, 7], start=6)
+        journal.compact(5)  # record 2 straddles the cutoff: keep it
+        assert list(journal.replay()) == [(3, [3, 4, 5]), (6, [6, 7])]
+        journal.compact(8)
+        assert list(journal.replay()) == []
+
+
+class TestFaultPlan:
+    def test_counts_and_order(self):
+        plan = FaultPlan({"a": 2, "b": 1})
+        assert plan.take("a") and plan.take("b") and plan.take("a")
+        assert not plan.take("a") and not plan.take("b")
+        assert plan.fired == ["a", "b", "a"]
+
+    def test_skip_then_fail(self):
+        plan = FaultPlan.crash_at("p", occurrence=3)
+        assert [plan.take("p") for _ in range(4)] == [
+            False, False, True, False,
+        ]
+
+    def test_iterable_constructor_counts_duplicates(self):
+        plan = FaultPlan(["x", "x", "y"])
+        assert plan.remaining("x") == 2 and plan.remaining("y") == 1
+
+    def test_fire_raises_only_with_budget(self):
+        plan = FaultPlan.crash_once("p")
+        with pytest.raises(InjectedFaultError):
+            plan.fire("p")
+        plan.fire("p")  # budget spent: no-op
+
+    @pytest.mark.parametrize(
+        "bad", [{"p": 0}, {"p": -1}, {"p": (-1, 1)}, {"p": (0, 0)}]
+    )
+    def test_invalid_budgets_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(bad)
+
+    def test_crash_at_rejects_nonpositive_occurrence(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.crash_at("p", occurrence=0)
+
+
+class TestInjectors:
+    def test_torn_write_truncates(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"0123456789")
+        assert inject_torn_write(path, keep_fraction=0.5) == 5
+        assert path.read_bytes() == b"01234"
+
+    def test_bit_flip_flips_one_bit(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"\x00\x00")
+        assert inject_bit_flip(path, offset=-1, bit=3) == 1
+        assert path.read_bytes() == b"\x00\x08"
+
+    def test_injector_validation(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"ab")
+        with pytest.raises(InvalidParameterError):
+            inject_torn_write(path, keep_fraction=1.0)
+        with pytest.raises(InvalidParameterError):
+            inject_bit_flip(path, offset=7)
+        with pytest.raises(InvalidParameterError):
+            inject_bit_flip(path, bit=8)
+
+
+class TestWorkerFailureRecovery:
+    """Dead/poisoned shards are retried; the result matches the oracle."""
+
+    def _data(self, n=20_000):
+        import numpy as np
+
+        return (np.arange(n) * 37) % 211
+
+    @staticmethod
+    def _observable(summary):
+        return (
+            [(b.beg, b.end) for b in summary.buckets_snapshot()],
+            summary.items_seen,
+            summary.error,
+        )
+
+    @pytest.mark.parametrize("shard", [0, 1, 2, 3])
+    def test_poisoned_shard_is_retried(self, shard):
+        from repro.parallel import ParallelSummarizer
+
+        data = self._data()
+        reference = ParallelSummarizer(
+            "min-merge", buckets=8, workers=4, backend="thread"
+        ).reference(data)
+        summarizer = ParallelSummarizer(
+            "min-merge",
+            buckets=8,
+            workers=4,
+            backend="thread",
+            fault_plan=FaultPlan({f"shard:{shard}": 1}),
+            retry_backoff=0.0,
+            metrics=True,
+        )
+        result = summarizer.summarize(data)
+        assert self._observable(result) == self._observable(reference)
+        assert result.metrics.counter_totals()["failures_retried"] == 1
+
+    def test_degrades_to_in_process_after_retries(self):
+        from repro.parallel import ParallelSummarizer
+
+        data = self._data()
+        reference = ParallelSummarizer(
+            "min-merge", buckets=8, workers=4, backend="thread"
+        ).reference(data)
+        summarizer = ParallelSummarizer(
+            "min-merge",
+            buckets=8,
+            workers=4,
+            backend="thread",
+            fault_plan=FaultPlan({"shard:2": 2}),
+            retry_backoff=0.0,
+            max_shard_retries=2,
+            metrics=True,
+        )
+        result = summarizer.summarize(data)
+        assert self._observable(result) == self._observable(reference)
+        # Counters aggregated up through the tree_reduce merges.
+        assert result.metrics.counter_totals()["failures_retried"] == 2
+
+    def test_in_process_failure_propagates(self):
+        from repro.parallel import ParallelSummarizer
+
+        summarizer = ParallelSummarizer(
+            "min-merge",
+            buckets=8,
+            workers=4,
+            backend="thread",
+            fault_plan=FaultPlan({"shard:1": 5}),
+            retry_backoff=0.0,
+            max_shard_retries=2,
+        )
+        with pytest.raises(InjectedFaultError):
+            summarizer.summarize(self._data())
+
+    def test_killed_process_worker_is_retried(self):
+        from repro.parallel import ParallelSummarizer
+        from repro.parallel.executor import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        data = self._data()
+        reference = ParallelSummarizer(
+            "min-merge", buckets=8, workers=2, backend="process"
+        ).reference(data)
+        summarizer = ParallelSummarizer(
+            "min-merge",
+            buckets=8,
+            workers=2,
+            backend="process",
+            fault_plan=FaultPlan({"shard.kill:1": 1}),
+            retry_backoff=0.0,
+            metrics=True,
+        )
+        result = summarizer.summarize(data)
+        assert self._observable(result) == self._observable(reference)
+        # A dead worker breaks the whole pool, so innocent shards may be
+        # collateral failures: at least the killed shard was retried.
+        assert result.metrics.counter_totals()["failures_retried"] >= 1
+
+    def test_retry_parameters_validated(self):
+        from repro.parallel import ParallelSummarizer
+
+        with pytest.raises(InvalidParameterError):
+            ParallelSummarizer("min-merge", buckets=8, max_shard_retries=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelSummarizer("min-merge", buckets=8, retry_backoff=-0.1)
+
+
+class TestRecoverCli:
+    def test_recover_subcommand_reports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = CheckpointStore(tmp_path, journal=True)
+        running = _make("min-merge")
+        store.ingest(running, _values(200)[:120])
+        store.save(running)
+        store.ingest(running, _values(200)[120:])
+
+        assert main(["recover", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "min-merge" in out
+        assert "200" in out
+
+    def test_recover_subcommand_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        store = CheckpointStore(tmp_path, journal=False)
+        running = _make("sliding-window")
+        running.extend(_values(150))
+        store.save(running)
+
+        assert main(["recover", "--dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sliding-window"
+        assert payload["items_seen"] == 150
+        assert payload["generation"] == 1
