@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel
+.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel service-smoke
 
 # Line-coverage floor enforced by `make coverage` (and the CI coverage job).
 COV_FAIL_UNDER ?= 85
@@ -51,3 +51,9 @@ bench-smoke:
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_ingest.py \
 		--json BENCH_PARALLEL.json --min-speedup 1.3
+
+# End-to-end service gate: boot the TCP server, stream 100k values over
+# the wire, diff the served histograms against one-shot summarize().
+service-smoke:
+	$(PYTHON) benchmarks/bench_service_smoke.py --items 100000 \
+		--json BENCH_SERVICE.json

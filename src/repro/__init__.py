@@ -31,6 +31,16 @@ Quickstart::
         summary.insert(value)
     hist = summary.histogram()
     print(len(hist), hist.error, summary.memory_bytes())
+
+Stateful / multi-tenant use goes through the service layer's session
+API (``docs/SERVICE.md``)::
+
+    from repro import Session
+
+    with Session() as session:
+        sku = session.stream("sku-42", method="min-merge", buckets=32)
+        sku.append(prices)
+        hist = sku.histogram()      # hist.meta carries provenance
 """
 
 from repro.core import (
@@ -58,6 +68,7 @@ from repro.baselines import (
     greedy_split_histogram,
 )
 from repro.exceptions import (
+    BackpressureError,
     CheckpointCorruptionError,
     DomainError,
     EmptySummaryError,
@@ -74,7 +85,16 @@ from repro.metrics import (
     series_linf_distance,
 )
 from repro.analysis import compression_profile, plan_summary
-from repro.api import ALGORITHM_REGISTRY, summarize
+from repro.api import ALGORITHM_REGISTRY, build_summary, methods, summarize
+from repro.core.histogram import HistogramMeta
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    Session,
+    StreamEngine,
+    StreamHandle,
+    StreamServer,
+)
 from repro.core.aggregation import (
     merge_min_merge_summaries,
     merge_pwl_summaries,
@@ -147,7 +167,17 @@ __all__ = [
     "optimal_pwl_histogram",
     # extensions beyond the paper
     "summarize",
+    "build_summary",
+    "methods",
+    "HistogramMeta",
     "ALGORITHM_REGISTRY",
+    # service layer
+    "Session",
+    "StreamHandle",
+    "StreamEngine",
+    "StreamServer",
+    "ServiceClient",
+    "ServiceError",
     "plan_summary",
     "compression_profile",
     "merge_min_merge_summaries",
@@ -187,5 +217,6 @@ __all__ = [
     "UnsupportedCheckpointError",
     "CheckpointCorruptionError",
     "InjectedFaultError",
+    "BackpressureError",
     "__version__",
 ]

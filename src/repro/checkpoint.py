@@ -75,6 +75,31 @@ SUPPORTED_KINDS = (
 )
 
 
+#: Summary classes :func:`state_dict` accepts (isinstance targets).
+CHECKPOINTABLE_CLASSES = (
+    MinMergeHistogram,
+    MinIncrementHistogram,
+    RehistHistogram,
+    PwlMinMergeHistogram,
+    PwlMinIncrementHistogram,
+    SlidingWindowMinIncrement,
+    SlidingWindowPwlMinIncrement,
+    GreedyInsertSummary,
+    StreamFleet,
+)
+
+
+def checkpointable(obj) -> bool:
+    """True when :func:`state_dict` supports ``obj`` (class or instance).
+
+    The capability probe behind ``repro.api.methods()`` and the service
+    engine's per-tenant checkpoint gating.
+    """
+    if isinstance(obj, type):
+        return issubclass(obj, CHECKPOINTABLE_CLASSES)
+    return isinstance(obj, CHECKPOINTABLE_CLASSES)
+
+
 def state_dict(summary) -> dict:
     """Serialize a supported summary's full state to plain data."""
     # MinIncrement before its PWL sibling only for symmetry with restore;

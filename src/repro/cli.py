@@ -14,6 +14,7 @@ Subcommands::
     repro-histogram sliding-window
     repro-histogram wavelet
     repro-histogram recover --dir checkpoints/
+    repro-histogram serve --port 7607 --checkpoint-dir state/ --workers 2
 
 The ``figN`` subcommands regenerate the series behind the corresponding
 figure in the paper; ``--paper`` switches from the quick interactive sizes
@@ -151,6 +152,36 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument(
         "--json", action="store_true",
         help="emit the recovery report as JSON instead of text",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant streaming service (JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7607,
+        help="TCP port (0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None,
+        help="root directory for per-stream crash-consistent checkpoints",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="snapshot a stream after this many ingested items",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=100_000,
+        help="per-stream bound on queued-but-unapplied items (backpressure)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="ingest worker threads (0 = apply batches inline)",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="instrument every stream into a shared metrics registry",
     )
 
     plan = sub.add_parser(
@@ -354,6 +385,40 @@ def _cmd_recover(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import StreamEngine, StreamServer
+
+    engine = StreamEngine(
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_pending=args.max_pending,
+        workers=args.workers,
+        metrics=args.metrics,
+    )
+    server = StreamServer(engine, host=args.host, port=args.port)
+    recovered = engine.streams()
+    if recovered:
+        print(f"recovered {len(recovered)} stream(s): {', '.join(recovered)}")
+    if args.port == 0:
+        # Bind first so the caller learns the chosen port before blocking.
+        server.start_in_background()
+        print(f"listening on {args.host}:{server.port}", flush=True)
+        try:
+            server._thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+            engine.close()
+        return 0
+    print(f"listening on {args.host}:{args.port}", flush=True)
+    try:
+        server.run()
+    finally:
+        engine.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -382,6 +447,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_series(experiments.wavelet_comparison()))
     elif args.command == "recover":
         print(_cmd_recover(args))
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "plot":
         print(_cmd_plot(args))
     elif args.command == "plan":

@@ -19,7 +19,7 @@ integer stream and cost O(1) words.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Sequence
 
 from repro.exceptions import InvalidParameterError
 
@@ -37,8 +37,7 @@ class ErrorLadder(Sequence):
         whole domain), so the ladder stops at the first level ``>= U / 2``.
     include_zero_level:
         Prepend the exact levels ``e = 0`` and ``e = 1/2`` (default True;
-        see module docs).  The pre-unification spelling ``include_zero``
-        still works but emits a :class:`DeprecationWarning`.
+        see module docs).
     """
 
     def __init__(
@@ -47,15 +46,7 @@ class ErrorLadder(Sequence):
         universe: int,
         *,
         include_zero_level: bool = True,
-        include_zero: Optional[bool] = None,
     ):
-        if include_zero is not None:
-            from repro.core.interface import warn_deprecated_kwarg
-
-            warn_deprecated_kwarg(
-                "include_zero", "include_zero_level", owner="ErrorLadder"
-            )
-            include_zero_level = include_zero
         if not 0 < epsilon < 1:
             raise InvalidParameterError(
                 f"epsilon must lie in (0, 1), got {epsilon}"

@@ -13,10 +13,50 @@ experiments of Section 5 score the algorithms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class HistogramMeta:
+    """Provenance a :class:`Histogram` optionally carries (``hist.meta``).
+
+    Filled in by :func:`repro.api.summarize` and the service layer's query
+    path so callers stop re-deriving "which method, how many buckets, over
+    how many items" from context they may no longer have.
+
+    Attributes
+    ----------
+    method:
+        Registry name (or class name) of the producing algorithm.
+    buckets:
+        Bucket count of this histogram (``len(hist)``).
+    requested_buckets:
+        The bucket budget ``B`` the caller asked for (the merge family may
+        legitimately answer with up to ``2 B``).
+    error:
+        The producing summary's reported maximum error (``hist.error``).
+    items_seen:
+        Stream values the producing summary had ingested.
+    window:
+        Window length for the sliding-window variants, else ``None``.
+    epsilon:
+        Approximation parameter for the ladder methods, else ``None``.
+    """
+
+    method: str
+    buckets: int
+    requested_buckets: int
+    error: float
+    items_seen: int
+    window: Optional[int] = None
+    epsilon: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """Plain-data form (used by the wire format)."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -80,9 +120,20 @@ class Histogram:
         (the max bucket error it tracked).  For exact summaries this equals
         the true reconstruction error; approximate summaries may report an
         upper bound.
+    meta:
+        Optional :class:`HistogramMeta` provenance (method, budgets, items
+        seen).  Not part of equality-of-approximation: two histograms with
+        equal segments and error describe the same approximation whatever
+        their meta says.
     """
 
-    def __init__(self, segments: Iterable[Segment], error: float):
+    def __init__(
+        self,
+        segments: Iterable[Segment],
+        error: float,
+        *,
+        meta: Optional[HistogramMeta] = None,
+    ):
         segs = tuple(segments)
         if not segs:
             raise InvalidParameterError("a histogram needs at least one segment")
@@ -96,11 +147,25 @@ class Histogram:
             raise InvalidParameterError(f"error must be non-negative, got {error}")
         self._segments = segs
         self._error = float(error)
+        self._meta = meta
 
     @property
     def segments(self) -> tuple[Segment, ...]:
         """The contiguous segments, in stream order."""
         return self._segments
+
+    @property
+    def meta(self) -> Optional[HistogramMeta]:
+        """Provenance attached by the producing layer, or ``None``."""
+        return self._meta
+
+    def with_meta(self, meta: HistogramMeta) -> "Histogram":
+        """A copy of this histogram carrying ``meta`` (segments shared)."""
+        clone = Histogram.__new__(Histogram)
+        clone._segments = self._segments
+        clone._error = self._error
+        clone._meta = meta
+        return clone
 
     @property
     def error(self) -> float:
@@ -294,15 +359,19 @@ class Histogram:
 
         The motivating deployments (sensor networks, StatStream-style
         fleets) ship summaries across the network; this is the wire
-        format, inverse of :meth:`from_dict`.
+        format, inverse of :meth:`from_dict`.  ``meta``, when attached,
+        rides along as a nested dict.
         """
-        return {
+        payload = {
             "error": self._error,
             "segments": [
                 [seg.beg, seg.end, seg.left, seg.right]
                 for seg in self._segments
             ],
         }
+        if self._meta is not None:
+            payload["meta"] = self._meta.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "Histogram":
@@ -313,11 +382,13 @@ class Histogram:
                 for beg, end, left, right in data["segments"]
             ]
             error = data["error"]
+            meta = data.get("meta")
+            meta = HistogramMeta(**meta) if meta is not None else None
         except (KeyError, TypeError, ValueError) as exc:
             raise InvalidParameterError(
                 f"malformed histogram payload: {exc}"
             ) from exc
-        return cls(segments, error)
+        return cls(segments, error, meta=meta)
 
     def to_json(self) -> str:
         """JSON wire form (see :meth:`to_dict`)."""

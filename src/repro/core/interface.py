@@ -33,13 +33,12 @@ classes agreed on when their signatures were unified:
   approximate hulls are an explicit opt-in;
 * ``include_zero_level`` is the one spelling for prepending the exact
   ladder levels (:class:`~repro.core.error_ladder.ErrorLadder` accepted
-  ``include_zero`` historically; that spelling still works behind a
-  :class:`DeprecationWarning` shim).
+  ``include_zero`` historically; the deprecation shim was retired after
+  one release cycle and the old spelling is now a :class:`TypeError`).
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Iterable, Optional, Protocol, runtime_checkable
 
 __all__ = [
@@ -47,7 +46,6 @@ __all__ = [
     "StreamingSummary",
     "conforms",
     "missing_members",
-    "warn_deprecated_kwarg",
 ]
 
 #: Unified default for the PWL classes' hull slack: ``None`` keeps exact
@@ -139,12 +137,3 @@ def conforms(cls: type) -> bool:
     properties raise on an empty summary.
     """
     return not missing_members(cls)
-
-
-def warn_deprecated_kwarg(old: str, new: str, *, owner: str) -> None:
-    """Emit the shared :class:`DeprecationWarning` for a renamed keyword."""
-    warnings.warn(
-        f"{owner}({old}=...) is deprecated; use {new}= instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )

@@ -18,6 +18,9 @@ single base class.  More specific subclasses identify the failure mode:
 * :class:`InjectedFaultError` -- a deterministic test fault fired (see
   :mod:`repro.resilience.faults`); never raised in production
   configurations.
+* :class:`BackpressureError` -- the streaming service engine rejected an
+  append because the target stream's bounded write queue is full
+  (admission control; the request is safe to retry).
 """
 
 from __future__ import annotations
@@ -63,4 +66,15 @@ class InjectedFaultError(ReproError, RuntimeError):
     Simulates a crash (checkpoint I/O) or a worker death (parallel shard
     ingest) at a named fault point; test-only by construction -- no fault
     plan, no faults.
+    """
+
+
+class BackpressureError(ReproError, RuntimeError):
+    """An append was rejected because a stream's write queue is full.
+
+    Raised by :class:`repro.service.StreamEngine` (and surfaced over the
+    wire as a ``backpressure`` error) when accepting the batch would push
+    the stream's pending-item count past its bound.  Nothing was ingested;
+    the caller should back off and retry -- admission control protects the
+    applied state, it never tears a batch.
     """

@@ -28,6 +28,53 @@ from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.parallel.executor import map_tasks
 
 
+class FleetStreamHandle:
+    """A view onto one stream of a :class:`StreamFleet`.
+
+    Mirrors the service layer's ``StreamHandle`` shape (append /
+    histogram / items_seen / error), so code written against
+    :class:`repro.service.Session` handles also reads naturally against
+    a fleet.  Handles are cheap and stateless; fetch them with
+    :meth:`StreamFleet.stream`.
+    """
+
+    __slots__ = ("_fleet", "_stream_id")
+
+    def __init__(self, fleet: "StreamFleet", stream_id: Hashable) -> None:
+        self._fleet = fleet
+        self._stream_id = stream_id
+
+    @property
+    def stream_id(self) -> Hashable:
+        """The stream's id within its fleet."""
+        return self._stream_id
+
+    @property
+    def items_seen(self) -> int:
+        """Values ingested into this stream so far."""
+        return self._fleet.summary(self._stream_id).items_seen
+
+    @property
+    def error(self) -> float:
+        """The stream summary's current error."""
+        return self._fleet.error(self._stream_id)
+
+    def append(self, values: Iterable) -> None:
+        """Append a batch (vectorized when values is a list/ndarray)."""
+        self._fleet.extend(self._stream_id, values)
+
+    def insert(self, value) -> None:
+        """Append one value."""
+        self._fleet.insert(self._stream_id, value)
+
+    def histogram(self) -> Histogram:
+        """The stream's current histogram."""
+        return self._fleet.histogram(self._stream_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FleetStreamHandle({self._stream_id!r})"
+
+
 class StreamFleet:
     """One histogram summary per stream, with similarity queries on top.
 
@@ -139,6 +186,17 @@ class StreamFleet:
         self._summaries[stream_id] = summary
         if self._metrics is not None:
             self._bind_fleet_gauges()
+
+    def stream(self, stream_id: Hashable) -> FleetStreamHandle:
+        """A :class:`FleetStreamHandle` on the named stream.
+
+        Registers the stream if new (same implicit-registration rule as
+        :meth:`insert`/:meth:`extend`), then returns a cheap handle
+        mirroring the service layer's per-stream API.
+        """
+        if stream_id not in self._summaries:
+            self.add_stream(stream_id)
+        return FleetStreamHandle(self, stream_id)
 
     def remove_stream(self, stream_id: Hashable) -> None:
         """Drop a stream and free its summary."""

@@ -1,0 +1,28 @@
+"""Multi-tenant streaming service layer (``docs/SERVICE.md``).
+
+Composes the library's layers into a long-lived deployment unit:
+
+* :class:`StreamEngine` -- thread-safe core owning many named streams,
+  with bounded write queues (admission control), snapshot-isolated
+  queries, per-stream crash-consistent checkpoints, and per-tenant
+  metrics.
+* :class:`Session` / :class:`StreamHandle` -- the stateful public
+  facade (``session.stream("sku-42", method="min-merge").append(xs)``);
+  ``repro.summarize`` is a one-shot wrapper over this same path.
+* :class:`StreamServer` / :class:`ServiceClient` -- newline-delimited
+  JSON over TCP (asyncio front, stdlib-only client), exposed by the CLI
+  as ``repro serve``.
+"""
+
+from repro.service.engine import StreamEngine
+from repro.service.server import ServiceClient, ServiceError, StreamServer
+from repro.service.session import Session, StreamHandle
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "Session",
+    "StreamEngine",
+    "StreamHandle",
+    "StreamServer",
+]

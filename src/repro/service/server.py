@@ -1,0 +1,352 @@
+"""Asyncio wire front for a :class:`~repro.service.StreamEngine`.
+
+Newline-delimited JSON over TCP -- the simplest wire format the stdlib
+can serve and every language can speak.  One request per line, one
+response per line (see ``docs/SERVICE.md`` for the full schema)::
+
+    {"op": "append", "stream": "sku-42", "values": [3, 1, 4],
+     "method": "min-merge", "buckets": 32}
+    {"ok": true, "accepted": 3}
+
+    {"op": "query", "stream": "sku-42"}
+    {"ok": true, "histogram": {"error": ..., "segments": [...],
+                               "meta": {...}}}
+
+Operations: ``append`` (creates the stream on first use from the
+request's config), ``query``, ``stats``, ``checkpoint``, ``streams``,
+``ping``.  Errors come back as ``{"ok": false, "error": <code>,
+"message": ...}`` with codes ``backpressure`` (queue bound hit -- back
+off and retry), ``invalid`` (bad parameters / unknown stream),
+``empty`` (query before any data), ``bad-request`` (malformed JSON or
+missing fields), ``unknown-op``, and ``internal``.
+
+The event loop never blocks on the engine: every engine call runs in a
+thread-pool executor, so slow batch applies on one connection do not
+stall others.  The engine itself is thread-safe (per-stream locks), so
+any number of connections may hit the same stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Optional
+
+from repro.exceptions import (
+    BackpressureError,
+    EmptySummaryError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.service.engine import StreamEngine
+
+#: Refuse request lines longer than this many bytes (a malformed or
+#: hostile client should not buffer unbounded memory server-side).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+_STREAM_CONFIG_KEYS = ("method", "buckets", "epsilon", "universe", "window")
+
+
+class StreamServer:
+    """Serve one engine over newline-delimited JSON on TCP.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`StreamEngine` to expose; the server never closes it
+        (the caller owns its lifecycle).
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (on the running loop)."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until :meth:`stop` or cancellation."""
+        if self._server is None:
+            await self.start()
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        except asyncio.CancelledError:
+            # stop() closes the server from another thread, which lands
+            # here as a cancellation of the serving future -- a clean exit.
+            pass
+
+    def run(self) -> None:
+        """Blocking entry point (the CLI ``serve`` subcommand)."""
+        try:
+            asyncio.run(self.serve_forever())
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+
+    def start_in_background(self) -> "StreamServer":
+        """Run the server on a daemon thread; returns once it is bound.
+
+        The test/smoke entry point: callers talk to it with
+        :class:`ServiceClient` and call :meth:`stop` when done.
+        """
+        self._thread = threading.Thread(
+            target=self.run, name="repro-stream-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections and unwind the background thread."""
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None:
+            loop.call_soon_threadsafe(server.close)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """One client: read request lines, write response lines, forever."""
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_error("bad-request", "request too long"))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # CancelledError: the loop is tearing down (stop());
+                # finishing normally here keeps teardown quiet.
+                pass
+
+    async def _dispatch(self, line: bytes) -> bytes:
+        try:
+            request = json.loads(line)
+        except ValueError:
+            return _error("bad-request", "request is not valid JSON")
+        if not isinstance(request, dict) or "op" not in request:
+            return _error("bad-request", 'request must be {"op": ..., ...}')
+        op = request["op"]
+        handler = getattr(self, f"_op_{str(op).replace('-', '_')}", None)
+        if handler is None:
+            return _error("unknown-op", f"unknown op {op!r}")
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(None, handler, request)
+        except BackpressureError as exc:
+            return _error("backpressure", str(exc))
+        except EmptySummaryError as exc:
+            return _error("empty", str(exc))
+        except (InvalidParameterError, KeyError, TypeError) as exc:
+            return _error("invalid", f"{type(exc).__name__}: {exc}")
+        except ReproError as exc:  # pragma: no cover - defensive
+            return _error("internal", f"{type(exc).__name__}: {exc}")
+        return _ok(payload)
+
+    # -- operations (run on executor threads) -------------------------------
+
+    def _stream_for(self, request: dict):
+        """Create-or-fetch the request's stream from its inline config.
+
+        Requests that carry no config address the stream as it already
+        exists (whatever its method); config keys are only consulted at
+        creation or to verify a match.
+        """
+        stream_id = str(request["stream"])
+        config = {
+            key: request[key]
+            for key in _STREAM_CONFIG_KEYS
+            if request.get(key) is not None
+        }
+        if not config and stream_id in self.engine.streams():
+            return self.engine.handle(stream_id)
+        return self.engine.stream(stream_id, **config)
+
+    def _op_append(self, request: dict) -> dict:
+        values = request["values"]
+        if not isinstance(values, (list, tuple)):
+            raise InvalidParameterError("values must be a JSON array")
+        handle = self._stream_for(request)
+        accepted = handle.append(values)
+        return {"accepted": accepted, "stream": handle.stream_id}
+
+    def _op_query(self, request: dict) -> dict:
+        stream_id = str(request["stream"])
+        if bool(request.get("drain")):
+            self.engine.drain()
+        hist = self.engine.histogram(stream_id)
+        return {"stream": stream_id, "histogram": hist.to_dict()}
+
+    def _op_stats(self, request: dict) -> dict:
+        stream = request.get("stream")
+        stats = self.engine.stats(None if stream is None else str(stream))
+        return {"stats": stats}
+
+    def _op_checkpoint(self, request: dict) -> dict:
+        stream = request.get("stream")
+        generations = self.engine.checkpoint(
+            None if stream is None else str(stream)
+        )
+        return {"generations": generations}
+
+    def _op_streams(self, request: dict) -> dict:
+        return {"streams": list(self.engine.streams())}
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True}
+
+
+def _ok(payload: dict) -> bytes:
+    return (
+        json.dumps({"ok": True, **payload}, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _error(code: str, message: str) -> bytes:
+    return (
+        json.dumps(
+            {"ok": False, "error": code, "message": message},
+            separators=(",", ":"),
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+class ServiceError(ReproError):
+    """A server-side error response, surfaced client-side.
+
+    Carries the wire error ``code`` (``backpressure``, ``invalid``,
+    ``empty``, ...) so callers can branch without string-matching the
+    message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Minimal blocking client for :class:`StreamServer` (tests, CLI, CI).
+
+    One TCP connection, synchronous request/response.  Error responses
+    raise :class:`ServiceError` (with :class:`BackpressureError` for the
+    ``backpressure`` code so engine-side and wire-side callers catch the
+    same exception type).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request dict, return the decoded response payload."""
+        self._file.write(
+            (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            code = response.get("error", "internal")
+            message = response.get("message", "")
+            if code == "backpressure":
+                raise BackpressureError(message)
+            raise ServiceError(code, message)
+        return response
+
+    def append(self, stream: str, values, **config) -> int:
+        """Append values to a stream (creating it from ``config``)."""
+        response = self.request(
+            {"op": "append", "stream": stream, "values": list(values), **config}
+        )
+        return response["accepted"]
+
+    def query(self, stream: str, *, drain: bool = False) -> dict:
+        """The stream's histogram as its wire dict (``drain=True`` for a
+        barrier: all queued batches apply before the query runs)."""
+        return self.request({"op": "query", "stream": stream, "drain": drain})[
+            "histogram"
+        ]
+
+    def stats(self, stream: Optional[str] = None) -> dict:
+        """Engine-wide (or per-stream) statistics."""
+        payload = {"op": "stats"}
+        if stream is not None:
+            payload["stream"] = stream
+        return self.request(payload)["stats"]
+
+    def checkpoint(self, stream: Optional[str] = None) -> dict:
+        """Force snapshots; returns ``{stream_id: generation}``."""
+        payload = {"op": "checkpoint"}
+        if stream is not None:
+            payload["stream"] = stream
+        return self.request(payload)["generations"]
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.request({"op": "ping"}).get("pong"))

@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import SUMMARIZE_METHODS, summarize
+from repro.api import (
+    SUMMARIZE_METHODS,
+    _universe_for,
+    build_summary,
+    methods,
+    summarize,
+)
 from repro.exceptions import InvalidParameterError
 from repro.offline.optimal import optimal_error
 
@@ -75,6 +81,156 @@ class TestMethods:
         serial = summarize(values, 4)
         pwl = summarize(values, 4, method="pwl")
         assert pwl.max_error_against(values) <= serial.max_error_against(values)
+
+
+class TestCapabilityMatrix:
+    def test_matrix_covers_every_registry_method(self):
+        matrix = methods()
+        assert set(matrix) == set(SUMMARIZE_METHODS)
+        for caps in matrix.values():
+            assert set(caps) >= {
+                "streaming", "offline", "mergeable", "checkpointable",
+                "windowed", "pwl", "summary_class", "custom",
+            }
+
+    def test_matrix_flags_derive_from_the_classes(self):
+        matrix = methods()
+        assert matrix["min-merge"]["mergeable"]
+        assert matrix["min-merge"]["streaming"]
+        assert not matrix["min-merge"]["windowed"]
+        assert matrix["min-increment"]["windowed"]
+        assert not matrix["min-increment"]["mergeable"]
+        assert matrix["pwl"]["pwl"] and matrix["pwl-min-merge"]["pwl"]
+        assert matrix["optimal"]["offline"]
+        assert not matrix["optimal"]["streaming"]
+        assert matrix["optimal"]["summary_class"] is None
+        assert all(not caps["custom"] for caps in matrix.values())
+
+    def test_custom_registry_entries_are_flagged(self):
+        from repro.api import ALGORITHM_REGISTRY
+
+        ALGORITHM_REGISTRY["custom-x"] = lambda values, buckets, eps: None
+        try:
+            caps = methods()["custom-x"]
+            assert caps["custom"] and not caps["streaming"]
+        finally:
+            del ALGORITHM_REGISTRY["custom-x"]
+
+    def test_unknown_method_error_lists_the_matrix(self):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            summarize([1, 2], 4, method="sketch")
+        message = str(excinfo.value)
+        assert "unknown method" in message
+        for name in SUMMARIZE_METHODS:
+            assert name in message
+        assert "mergeable" in message
+
+
+class TestWindowRouting:
+    def test_window_routes_to_sliding_variant(self):
+        from repro.core.sliding_window import SlidingWindowMinIncrement
+
+        values = [(11 * i) % 97 for i in range(600)]
+        hist = summarize(values, 8, window=150)
+        oracle = SlidingWindowMinIncrement(8, 0.1, 97, 150)
+        oracle.extend(values)
+        expected = oracle.histogram()
+        assert hist.segments == expected.segments
+        assert hist.error == expected.error
+        assert hist.meta.window == 150
+
+    def test_window_pwl_variant(self):
+        values = [3 * i for i in range(400)]
+        hist = summarize(values, 8, method="pwl", window=100)
+        assert hist.meta.window == 100
+        assert hist.coverage <= 100
+
+    def test_window_rejected_for_unwindowed_methods(self):
+        for method in ("min-merge", "pwl-min-merge", "optimal"):
+            with pytest.raises(
+                InvalidParameterError, match="no sliding-window variant"
+            ):
+                summarize([1, 2, 3], 4, method=method, window=2)
+
+    def test_window_incompatible_with_workers_and_classes(self):
+        from repro import MinMergeHistogram
+
+        with pytest.raises(InvalidParameterError, match="workers"):
+            summarize(list(range(100)), 4, method="min-merge", window=10,
+                      workers=2)
+        with pytest.raises(InvalidParameterError, match="class"):
+            summarize([1, 2], 4, method=MinMergeHistogram, window=2)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(InvalidParameterError, match="window"):
+            summarize([1, 2], 4, window=0)
+
+
+class TestHistogramMeta:
+    def test_meta_attached_by_every_method(self):
+        values = [(7 * i) % 53 for i in range(200)]
+        for method in SUMMARIZE_METHODS:
+            hist = summarize(values, 8, method=method)
+            assert hist.meta is not None, method
+            assert hist.meta.method == method
+            assert hist.meta.items_seen == 200
+            assert hist.meta.requested_buckets == 8
+            assert hist.meta.buckets == len(hist)
+            assert hist.meta.error == hist.error
+
+    def test_meta_round_trips_through_the_wire_format(self):
+        from repro.core.histogram import Histogram
+
+        hist = summarize([1, 5, 2, 8], 2)
+        rebuilt = Histogram.from_json(hist.to_json())
+        assert rebuilt.meta == hist.meta
+
+    def test_meta_absent_on_direct_summary_histograms(self):
+        summary = build_summary("min-merge", buckets=4)
+        summary.extend([1, 2, 3])
+        assert summary.histogram().meta is None
+
+    def test_workers_path_attaches_meta(self):
+        values = [(13 * i) % 251 for i in range(5000)]
+        hist = summarize(values, 8, method="min-merge", workers=2)
+        assert hist.meta.method == "min-merge"
+        assert hist.meta.items_seen == 5000
+
+
+class TestUniverseFor:
+    """Regression tests for _universe_for edge cases."""
+
+    def test_all_equal_values_make_a_legal_universe(self):
+        # max(values)+1 could be < 2 for zero-only streams; the floor is 2.
+        assert _universe_for([0, 0, 0]) == 2
+        assert _universe_for([1, 1]) == 2
+        assert _universe_for([5, 5, 5]) == 6
+        hist = summarize([0, 0, 0], 2)  # must not raise
+        assert hist.error == 0.0
+
+    def test_negative_minimum_raises_with_shift_hint(self):
+        with pytest.raises(InvalidParameterError, match="shift"):
+            _universe_for([3, -1, 5])
+
+    def test_iterator_input_not_consumed_twice(self):
+        # A one-shot iterator reaching _universe_for directly must be
+        # materialized, not silently drained before ingest.
+        assert _universe_for(iter([4, 9, 2])) == 10
+
+    def test_empty_sequence_raises_cleanly(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            _universe_for([])
+
+    def test_generator_summarize_still_sees_all_values(self):
+        hist = summarize((v for v in [3, 1, 4, 1, 5]), 2)
+        assert hist.meta.items_seen == 5
+        assert hist.coverage == 5
+
+    def test_numpy_reduction_path(self):
+        np = pytest.importorskip("numpy")
+        assert _universe_for(np.array([2, 7, 7])) == 8
+        with pytest.raises(InvalidParameterError):
+            _universe_for(np.array([-2, 7]))
 
 
 class TestNumpyCompatibility:

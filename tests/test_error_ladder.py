@@ -28,7 +28,7 @@ class TestConstruction:
         assert ladder[2] == 1.0
 
     def test_zero_level_can_be_disabled(self):
-        ladder = ErrorLadder(0.2, 1024, include_zero=False)
+        ladder = ErrorLadder(0.2, 1024, include_zero_level=False)
         assert ladder[0] == 1.0
 
     def test_repr(self):
@@ -37,7 +37,7 @@ class TestConstruction:
 
 class TestLevels:
     def test_levels_are_geometric(self):
-        ladder = ErrorLadder(0.5, 1 << 10, include_zero=False)
+        ladder = ErrorLadder(0.5, 1 << 10, include_zero_level=False)
         for a, b in zip(ladder, list(ladder)[1:]):
             assert b == pytest.approx(a * 1.5)
 
@@ -48,7 +48,7 @@ class TestLevels:
 
     def test_size_matches_theory(self):
         epsilon, universe = 0.2, 1 << 15
-        ladder = ErrorLadder(epsilon, universe, include_zero=False)
+        ladder = ErrorLadder(epsilon, universe, include_zero_level=False)
         expected = ErrorLadder.expected_size(epsilon, universe)
         # Within one level of the closed-form count.
         assert abs(len(ladder) - expected) <= 1

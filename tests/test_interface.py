@@ -144,10 +144,11 @@ class TestUnifiedKwargs:
         assert L2MergeHistogram(buckets=4).working_buckets == 4
         assert L2MergeHistogram(buckets=4, working_buckets=9).working_buckets == 9
 
-    def test_include_zero_deprecated_spelling_still_works(self):
-        with pytest.warns(DeprecationWarning, match="include_zero_level"):
-            ladder = ErrorLadder(0.2, 1024, include_zero=False)
-        assert ladder[0] != 0.0
+    def test_include_zero_legacy_spelling_rejected(self):
+        # The PR-1 deprecation shim is retired: only the unified spelling
+        # exists, and the old one fails loudly instead of silently warning.
+        with pytest.raises(TypeError, match="include_zero"):
+            ErrorLadder(0.2, 1024, include_zero=False)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             ladder = ErrorLadder(0.2, 1024, include_zero_level=False)
