@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel service-smoke
+.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire service-smoke
 
 # Line-coverage floor enforced by `make coverage` (and the CI coverage job).
 COV_FAIL_UNDER ?= 85
@@ -31,7 +31,8 @@ overhead-guard:
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks && \
-		ruff format --check src tests benchmarks; \
+		ruff format --check src tests benchmarks && \
+		ruff check --select ANN --ignore ANN401 src/repro/service/types.py; \
 	else \
 		echo "ruff not installed; skipping lint (pip install -e .[lint])"; \
 	fi
@@ -52,8 +53,14 @@ bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_ingest.py \
 		--json BENCH_PARALLEL.json --min-speedup 1.3
 
+# Wire codec + hotspot before/after micro-profiles (JSON vs binary
+# serialization, FINDMIN heap churn, hull add).
+bench-wire:
+	$(PYTHON) benchmarks/bench_wire.py --json BENCH_WIRE.json
+
 # End-to-end service gate: boot the TCP server, stream 100k values over
-# the wire, diff the served histograms against one-shot summarize().
+# the wire, diff the served histograms against one-shot summarize(),
+# and require the binary transport to beat JSON by >= 3x on appends.
 service-smoke:
 	$(PYTHON) benchmarks/bench_service_smoke.py --items 100000 \
-		--json BENCH_SERVICE.json
+		--wire-min-speedup 3.0 --json BENCH_SERVICE.json

@@ -6,6 +6,12 @@ and ``make service-smoke``): it is the end-to-end check that the wire
 front, the engine's queueing/locking, checkpoint-on-ingest, and the
 one-shot API all agree bit for bit.
 
+The run also races the two client transports (newline JSON, protocol 1,
+versus binary frames, protocol 2) over the same TCP socket path and
+records the result in the report's ``wire`` section.  The binary
+transport must beat JSON by at least ``--wire-min-speedup`` (default 3x)
+on append throughput; anything less means the zero-copy path regressed.
+
 Exit status is non-zero on any mismatch, so the script doubles as a
 release gate::
 
@@ -21,6 +27,8 @@ import sys
 import tempfile
 import time
 
+import numpy as np
+
 from repro.api import summarize
 from repro.service import ServiceClient, StreamEngine, StreamServer
 
@@ -34,8 +42,18 @@ def _dataset(n: int) -> list:
     return [(37 * i + (i * i) % 89) % 4096 for i in range(n)]
 
 
-def _segments(hist_dict: dict) -> list:
-    return [tuple(seg) for seg in hist_dict["segments"]]
+def _check_served(method: str, served, oracle, items: int) -> None:
+    """Exit non-zero if the served histogram diverges from the oracle."""
+    oracle_segments = list(oracle.segments)
+    if list(served.segments) != oracle_segments or served.error != oracle.error:
+        raise SystemExit(
+            f"{method}: served histogram diverges from summarize() "
+            f"(served error {served.error}, oracle {oracle.error})"
+        )
+    if served.meta.items_seen != items:
+        raise SystemExit(
+            f"{method}: served items_seen {served.meta.items_seen} != {items}"
+        )
 
 
 def run_smoke(
@@ -69,32 +87,15 @@ def run_smoke(
                             buckets=16,
                             universe=4096,
                         )
-                    served = client.query(method, drain=True)
+                    served = client.query(method, drain=True).histogram
                     elapsed = time.perf_counter() - start
                     oracle = summarize(values, 16, method=method)
-                    oracle_segments = [
-                        (s.beg, s.end, s.left, s.right)
-                        for s in oracle.segments
-                    ]
-                    if (
-                        _segments(served) != oracle_segments
-                        or served["error"] != oracle.error
-                    ):
-                        raise SystemExit(
-                            f"{method}: served histogram diverges from "
-                            f"summarize() (served error {served['error']}, "
-                            f"oracle {oracle.error})"
-                        )
-                    if served["meta"]["items_seen"] != items:
-                        raise SystemExit(
-                            f"{method}: served items_seen "
-                            f"{served['meta']['items_seen']} != {items}"
-                        )
+                    _check_served(method, served, oracle, items)
                     report["methods"][method] = {
                         "seconds": elapsed,
                         "items_per_second": items / elapsed,
-                        "error": served["error"],
-                        "buckets": len(served["segments"]),
+                        "error": served.error,
+                        "buckets": len(served.segments),
                     }
                 stats = client.stats()
                 report["checkpoints"] = stats["checkpoints"]
@@ -109,12 +110,100 @@ def run_smoke(
     return report
 
 
+def run_wire(
+    items: int, *, chunk: int = 5_000, min_speedup: float = 3.0
+) -> dict:
+    """Race the JSON and binary transports over TCP; return the report.
+
+    Both transports stream the same ``items`` values to their own
+    stream on one server, and the elapsed time covers the append phase
+    only: the engine runs with one worker, no checkpointing, and a
+    queue deep enough to never push back, so an append returns as soon
+    as the server has parsed the batch and enqueued it.  That isolates
+    exactly what the transports differ on -- serialization, socket
+    framing, and server-side parse -- rather than summary maintenance,
+    which is identical for both.  After each run the engine drains and
+    the served histogram is diffed against ``summarize()``, so the fast
+    path is also checked for bit-identity, not just speed.
+
+    Raises ``SystemExit`` if binary fails to beat JSON by
+    ``min_speedup`` (set it to 0 to disable the gate).
+    """
+    values = _dataset(items)
+    batch = np.asarray(values, dtype="<f8")
+    oracle = summarize(values, 16, method="min-merge")
+    engine = StreamEngine(workers=1, max_pending=2 * items + 1)
+    server = StreamServer(engine).start_in_background()
+    report = {"items": items, "chunk": chunk, "transports": {}}
+    try:
+        for transport in ("json", "binary"):
+            stream = f"wire-{transport}"
+            if transport == "binary":
+                # ndarray slices ride the zero-copy fast path: one
+                # binary frame per chunk, no per-item Python objects.
+                chunks = [
+                    batch[lo : lo + chunk] for lo in range(0, items, chunk)
+                ]
+            else:
+                chunks = [
+                    values[lo : lo + chunk] for lo in range(0, items, chunk)
+                ]
+            with ServiceClient(
+                port=server.port, transport=transport
+            ) as client:
+                start = time.perf_counter()
+                for part in chunks:
+                    client.append(
+                        stream,
+                        part,
+                        method="min-merge",
+                        buckets=16,
+                        universe=4096,
+                    )
+                elapsed = time.perf_counter() - start
+                engine.drain()
+                served = client.query(stream).histogram
+                _check_served(f"wire[{transport}]", served, oracle, items)
+                report["transports"][transport] = {
+                    "proto": client.info.proto,
+                    "seconds": elapsed,
+                    "values_per_second": items / elapsed,
+                }
+    finally:
+        server.stop()
+        engine.close()
+    speedup = (
+        report["transports"]["json"]["seconds"]
+        / report["transports"]["binary"]["seconds"]
+    )
+    report["speedup"] = speedup
+    report["min_speedup"] = min_speedup
+    if min_speedup and speedup < min_speedup:
+        raise SystemExit(
+            f"binary transport only {speedup:.2f}x faster than JSON "
+            f"(gate requires >= {min_speedup:g}x)"
+        )
+    return report
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--items", type=int, default=100_000)
     parser.add_argument("--chunk", type=int, default=5_000)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--wire-items",
+        type=int,
+        default=100_000,
+        help="values streamed per transport in the JSON-vs-binary race",
+    )
+    parser.add_argument(
+        "--wire-min-speedup",
+        type=float,
+        default=3.0,
+        help="required binary-over-JSON append speedup (0 disables)",
+    )
     parser.add_argument(
         "--json", default=None, help="also write the report to this path"
     )
@@ -129,6 +218,19 @@ def main(argv=None) -> int:
     print(
         f"checkpoints: {report['checkpoints']}; "
         "served histograms are bit-identical to summarize()"
+    )
+    report["wire"] = run_wire(
+        args.wire_items, chunk=args.chunk, min_speedup=args.wire_min_speedup
+    )
+    for transport, row in report["wire"]["transports"].items():
+        print(
+            f"wire[{transport}]     proto={row['proto']} "
+            f"{row['seconds']:.3f} s append phase "
+            f"({row['values_per_second']:,.0f} values/s)"
+        )
+    print(
+        f"binary-over-JSON speedup: {report['wire']['speedup']:.2f}x "
+        f"(gate >= {report['wire']['min_speedup']:g}x)"
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -156,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run the multi-tenant streaming service (JSON over TCP)",
+        help="run the multi-tenant streaming service (JSON + binary TCP)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -182,6 +182,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--metrics", action="store_true",
         help="instrument every stream into a shared metrics registry",
+    )
+    serve.add_argument(
+        "--no-binary", action="store_true",
+        help="pin every connection to JSON lines (disable the negotiated "
+        "binary wire protocol; see docs/WIRE.md)",
     )
 
     plan = sub.add_parser(
@@ -395,7 +400,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         metrics=args.metrics,
     )
-    server = StreamServer(engine, host=args.host, port=args.port)
+    from repro.service import wire
+
+    protocols = (wire.PROTO_JSON,) if args.no_binary else wire.ALL_PROTOCOLS
+    server = StreamServer(
+        engine, host=args.host, port=args.port, protocols=protocols
+    )
     recovered = engine.streams()
     if recovered:
         print(f"recovered {len(recovered)} stream(s): {', '.join(recovered)}")

@@ -34,11 +34,13 @@ small constant.
 
 from __future__ import annotations
 
+import numbers
 from typing import Optional
 
 import numpy as np
 
 from repro.core.bucket import Bucket
+from repro.exceptions import InvalidParameterError
 
 #: Upper bound on the items a single kernel window examines at once; keeps
 #: the temporary accumulate arrays cache-sized no matter the chunk length.
@@ -80,6 +82,36 @@ def as_batch_array(values) -> Optional[np.ndarray]:
     if arr.dtype.kind == "f" and bool(np.isnan(arr).any()):
         return None
     return arr
+
+
+def coerce_batch(values):
+    """Normalize an append payload to a sized batch (no copies).
+
+    The unified ``append()`` signature (engine, session handle, service
+    client) accepts scalars, sequences, and ndarrays through this one
+    funnel:
+
+    * a scalar (Python or NumPy number, or a 0-d array) becomes a
+      single-item list;
+    * a 1-D ndarray or any sized sequence passes through **unchanged**
+      (the zero-copy contract of the binary ingest path);
+    * other iterables (generators) are materialized exactly once;
+    * text and raw bytes are rejected -- they are sized sequences, but
+      appending ``"abc"`` as three code points is never what the caller
+      meant.
+    """
+    if isinstance(values, (str, bytes, bytearray, memoryview)):
+        raise InvalidParameterError(
+            "values must be a number or a sequence of numbers, "
+            f"not {type(values).__name__}"
+        )
+    if isinstance(values, np.ndarray):
+        return [values.item()] if values.ndim == 0 else values
+    if isinstance(values, numbers.Number):
+        return [values]
+    if hasattr(values, "__len__"):
+        return values
+    return list(values)
 
 
 def absorbable_prefix(

@@ -203,8 +203,7 @@ class PwlMinMergeHistogram:
                     self._n += 1
                 merges += run
                 i = j
-                heap.remove(handle)
-                self._push_pair_key(prev)
+                self._update_pair_key(prev)
             if run < 4:
                 short += 1
             else:
@@ -329,21 +328,27 @@ class PwlMinMergeHistogram:
         key = left.bucket.merge_error_with(left.next.bucket)
         left.pair_handle = self._heap.push((key, left.bucket.beg), left)
 
-    def _drop_pair_key(self, left: BucketNode) -> None:
-        if left.pair_handle is not None:
-            self._heap.remove(left.pair_handle)
-            left.pair_handle = None
+    def _update_pair_key(self, left: BucketNode) -> None:
+        # In-place key refresh: bit-identical to remove + push (keys are
+        # unique (error, beg) tuples) at half the heap traffic -- see
+        # MinMergeHistogram._update_pair_key.
+        key = left.bucket.merge_error_with(left.next.bucket)
+        self._heap.update(left.pair_handle, (key, left.bucket.beg))
 
     def _merge_min_pair(self) -> None:
-        _key, left = self._heap.pop_min()
+        # Same entry-recycling merge as MinMergeHistogram._merge_min_pair.
+        heap = self._heap
+        _key, left = heap.pop_min()
         left.pair_handle = None
         right = left.next
-        self._drop_pair_key(right)
-        if left.prev is not None:
-            self._drop_pair_key(left.prev)
+        right_handle = right.pair_handle
         left.bucket = left.bucket.merged_with(right.bucket)
         self._list.remove(right)
         if left.prev is not None:
-            self._push_pair_key(left.prev)
+            self._update_pair_key(left.prev)
         if left.next is not None:
-            self._push_pair_key(left)
+            key = left.bucket.merge_error_with(left.next.bucket)
+            heap.update(right_handle, (key, left.bucket.beg), item=left)
+            left.pair_handle = right_handle
+        elif right_handle is not None:  # pragma: no cover - defensive
+            heap.remove(right_handle)

@@ -68,7 +68,9 @@ class StreamingHull:
         self.lower: list[Point] = []
         self.upper: list[Point] = []
         self._count = 0
-        self._last_popped: Optional[tuple[list[Point], list[Point]]] = None
+        # (popped_lower, popped_upper) of the latest add; each half is
+        # ``None`` when that chain popped nothing (lazy allocation).
+        self._last_popped: Optional[tuple] = None
 
     @classmethod
     def from_points(cls, points: Sequence[Point]) -> "StreamingHull":
@@ -140,19 +142,38 @@ class StreamingHull:
         )
 
     def add(self, x, y) -> None:
-        """Insert a point with x strictly greater than all previous points."""
-        if self.lower and x <= self.lower[-1][0]:
-            raise InvalidParameterError(
-                f"x must be strictly increasing: got {x} after {self.lower[-1][0]}"
-            )
-        p = (x, y)
-        popped_lower: list[Point] = []
-        popped_upper: list[Point] = []
+        """Insert a point with x strictly greater than all previous points.
+
+        This is the PWL ingest hot spot (one call per certified point in
+        the batch kernels), so the turn test inlines :func:`cross` --
+        identical operations in identical order, no tuple construction or
+        call overhead -- and the undo buffers are allocated lazily: the
+        steady-state add pops nothing and allocates nothing.
+        """
         lower, upper = self.lower, self.upper
-        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+        if lower and x <= lower[-1][0]:
+            raise InvalidParameterError(
+                f"x must be strictly increasing: got {x} after {lower[-1][0]}"
+            )
+        popped_lower: Optional[list[Point]] = None
+        popped_upper: Optional[list[Point]] = None
+        while len(lower) >= 2:
+            ox, oy = lower[-2]
+            ax, ay = lower[-1]
+            if (ax - ox) * (y - oy) - (ay - oy) * (x - ox) > 0:
+                break
+            if popped_lower is None:
+                popped_lower = []
             popped_lower.append(lower.pop())
-        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) >= 0:
+        while len(upper) >= 2:
+            ox, oy = upper[-2]
+            ax, ay = upper[-1]
+            if (ax - ox) * (y - oy) - (ay - oy) * (x - ox) < 0:
+                break
+            if popped_upper is None:
+                popped_upper = []
             popped_upper.append(upper.pop())
+        p = (x, y)
         lower.append(p)
         upper.append(p)
         self._count += 1
@@ -169,9 +190,12 @@ class StreamingHull:
         popped_lower, popped_upper = self._last_popped
         self.lower.pop()
         self.upper.pop()
-        # Popped vertices were recorded innermost-last; restore in reverse.
-        self.lower.extend(reversed(popped_lower))
-        self.upper.extend(reversed(popped_upper))
+        # Popped vertices were recorded innermost-last; restore in reverse
+        # (``None`` = that chain popped nothing, the steady-state case).
+        if popped_lower:
+            self.lower.extend(reversed(popped_lower))
+        if popped_upper:
+            self.upper.extend(reversed(popped_upper))
         self._count -= 1
         self._last_popped = None
 

@@ -25,6 +25,15 @@ The store compacts the journal after each snapshot, dropping records
 entirely covered by the *oldest retained* generation -- not the newest, so
 falling back a generation after snapshot corruption still finds the tail
 it needs.
+
+**Group commit**: ``append(..., sync=False)`` writes the record but defers
+the fsync; a later ``sync()`` -- or any subsequent ``sync=True`` append on
+the same journal -- durably commits every deferred record at once (one
+fsync covers the whole file).  The service engine uses this to coalesce
+fsyncs onto batch-queue drain boundaries instead of paying one fsync per
+append; the safety invariant (journal coverage >= summary coverage at
+snapshot time) is restored by :meth:`CheckpointStore.save`, which syncs
+the journal before a snapshot becomes visible.
 """
 
 from __future__ import annotations
@@ -64,6 +73,8 @@ class ItemJournal:
     def __init__(self, path, *, fault_plan=None) -> None:
         self.path = os.fspath(path)
         self.fault_plan = fault_plan
+        self._handle = None
+        self._dirty = False
 
     def __len__(self) -> int:
         """Number of valid records (reads the file; use sparingly)."""
@@ -73,33 +84,71 @@ class ItemJournal:
         """Whether the journal file is present on disk."""
         return os.path.exists(self.path)
 
-    def append(self, values: Sequence, *, start: int) -> None:
-        """Durably append one batch beginning at absolute index ``start``.
+    def _file(self):
+        """The persistent append handle (reopened after compact/clear)."""
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "ab")
+        return self._handle
 
-        The record is written and fsynced before the caller feeds the
-        values to its summary, so a crash at any point leaves the journal
-        covering at least as much of the stream as the summary saw.
+    def _drop_handle(self) -> None:
+        """Close the append handle (the path is about to be replaced)."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+        self._dirty = False
+
+    def append(self, values: Sequence, *, start: int, sync: bool = True) -> None:
+        """Append one batch beginning at absolute index ``start``.
+
+        With ``sync=True`` (the default) the record is fsynced before
+        returning -- and, because one fsync covers the whole file, so is
+        every earlier ``sync=False`` record.  The caller feeds the values
+        to its summary only after this returns, so a crash at any point
+        leaves the journal covering at least as much of the stream as
+        was durably acknowledged.  ``sync=False`` is the group-commit
+        half: write now, commit at the next :meth:`sync` boundary.
         """
-        values = [_plain(v) for v in values]
+        tolist = getattr(values, "tolist", None)
+        values = tolist() if tolist is not None else [_plain(v) for v in values]
         record = {
             "start": int(start),
             "values": values,
             "crc": _record_crc(int(start), values),
         }
         line = json.dumps(record, separators=(",", ":")) + "\n"
-        with open(self.path, "ab") as handle:
-            plan = self.fault_plan
-            if plan is not None and plan.take("journal.append"):
-                # Simulate a crash mid-write: half the record's bytes make
-                # it to disk, leaving a torn tail for replay to reject.
-                handle.write(line[: max(1, len(line) // 2)].encode("ascii"))
-                handle.flush()
-                os.fsync(handle.fileno())
-                raise InjectedFaultError("injected fault at 'journal.append'")
-            handle.write(line.encode("ascii"))
+        handle = self._file()
+        plan = self.fault_plan
+        if plan is not None and plan.take("journal.append"):
+            # Simulate a crash mid-write: half the record's bytes make
+            # it to disk, leaving a torn tail for replay to reject.
+            handle.write(line[: max(1, len(line) // 2)].encode("ascii"))
+            handle.flush()
+            os.fsync(handle.fileno())
+            raise InjectedFaultError("injected fault at 'journal.append'")
+        handle.write(line.encode("ascii"))
+        if sync:
             handle.flush()
             fire(plan, "journal.fsync")
             os.fsync(handle.fileno())
+            self._dirty = False
+        else:
+            self._dirty = True
+
+    def sync(self) -> None:
+        """Durably commit every deferred (``sync=False``) record."""
+        if not self._dirty:
+            return
+        handle = self._file()
+        handle.flush()
+        fire(self.fault_plan, "journal.fsync")
+        os.fsync(handle.fileno())
+        self._dirty = False
+
+    def close(self) -> None:
+        """Sync any deferred records and release the append handle."""
+        if self._dirty:
+            self.sync()
+        self._drop_handle()
 
     def replay(self) -> Iterator[tuple[int, list]]:
         """Yield ``(start, values)`` for each valid record, oldest first.
@@ -109,6 +158,10 @@ class ItemJournal:
         replay.
         """
         self._ignored = 0
+        if self._handle is not None and not self._handle.closed:
+            # Make deferred appends visible to the read-side open below
+            # (flush to the OS; durability is sync()'s job, not replay's).
+            self._handle.flush()
         if not os.path.exists(self.path):
             return
         with open(self.path, "rb") as handle:
@@ -159,10 +212,14 @@ class ItemJournal:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
+        # The append handle (if open) still points at the replaced inode;
+        # drop it so the next append reopens the compacted file.
+        self._drop_handle()
         return len(kept)
 
     def clear(self) -> None:
         """Delete the journal file (a fresh store, or journaling turned off)."""
+        self._drop_handle()
         try:
             os.unlink(self.path)
         except FileNotFoundError:

@@ -9,20 +9,45 @@ Composes the library's layers into a long-lived deployment unit:
 * :class:`Session` / :class:`StreamHandle` -- the stateful public
   facade (``session.stream("sku-42", method="min-merge").append(xs)``);
   ``repro.summarize`` is a one-shot wrapper over this same path.
-* :class:`StreamServer` / :class:`ServiceClient` -- newline-delimited
-  JSON over TCP (asyncio front, stdlib-only client), exposed by the CLI
-  as ``repro serve``.
+* :class:`StreamServer` / :class:`ServiceClient` -- the wire layer,
+  exposed by the CLI as ``repro serve``.  Connections start on
+  newline-delimited JSON (protocol 1) and may negotiate the zero-copy
+  binary framing of :mod:`repro.service.wire` (protocol 2,
+  ``docs/WIRE.md``) via the ``hello`` op; the client returns the typed
+  results of :mod:`repro.service.types` either way.
 """
 
+from repro.service.client import (
+    BinaryTransport,
+    JsonTransport,
+    ServiceClient,
+    ServiceError,
+    Transport,
+)
 from repro.service.engine import StreamEngine
-from repro.service.server import ServiceClient, ServiceError, StreamServer
+from repro.service.server import StreamServer
 from repro.service.session import Session, StreamHandle
+from repro.service.types import (
+    AppendResult,
+    CheckpointResult,
+    QueryResult,
+    ServerInfo,
+    StatsResult,
+)
 
 __all__ = [
+    "AppendResult",
+    "BinaryTransport",
+    "CheckpointResult",
+    "JsonTransport",
+    "QueryResult",
+    "ServerInfo",
     "ServiceClient",
     "ServiceError",
     "Session",
+    "StatsResult",
     "StreamEngine",
     "StreamHandle",
     "StreamServer",
+    "Transport",
 ]

@@ -1,0 +1,442 @@
+"""Blocking service client: negotiated transports, typed results.
+
+The v2 client API (``docs/WIRE.md``, ``docs/SERVICE.md``)::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=port) as client:          # negotiates binary
+        client.info.proto                             # 2 on a v2 server
+        result = client.append("sku-42", prices,      # scalars, sequences
+                               method="min-merge",    # or ndarrays -- one
+                               buckets=32)            # unified signature
+        result.accepted
+        hist = client.query("sku-42").histogram       # a real Histogram
+
+On connect the client sends a ``hello`` advertising ``proto=[1, 2]``;
+the server answers with the highest protocol both sides speak and the
+connection switches to binary framing when that is 2.  JSON remains the
+default and the fallback: a server without ``hello`` (or started with
+binary disabled) keeps the connection on newline-delimited JSON, and
+``transport="json"`` forces it.  Either way the client API is identical
+-- the transport is an implementation detail selected per connection.
+
+Both transports read with explicit buffering loops (a TCP read may
+return any fragment of a response; a write may be short), so the client
+is correct over deliberately fragmenting links -- pinned by the
+fragmenting-socket regression tests in ``tests/test_wire.py``.
+
+``request(payload: dict)`` -- the v1 dict-in/dict-out plumbing -- is
+kept as a thin deprecated shim emitting :class:`DeprecationWarning`,
+mirroring the shim-then-retire convention of earlier API redesigns.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import warnings
+from typing import Any, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.batch import coerce_batch
+from repro.exceptions import BackpressureError, ReproError
+from repro.service import wire
+from repro.service.types import (
+    AppendResult,
+    CheckpointResult,
+    QueryResult,
+    ServerInfo,
+    StatsResult,
+)
+from repro.core.histogram import Histogram
+
+_RECV_CHUNK = 1 << 16
+
+
+class ServiceError(ReproError):
+    """A server-side error response, surfaced client-side.
+
+    Carries the wire error ``code`` (``backpressure``, ``invalid``,
+    ``empty``, ...) so callers can branch without string-matching the
+    message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def raise_for_error(response: dict) -> dict:
+    """Return an ``ok`` response payload; raise the typed error otherwise.
+
+    The ``backpressure`` code raises
+    :class:`~repro.exceptions.BackpressureError` so engine-side and
+    wire-side callers catch the same exception type.
+    """
+    if response.get("ok"):
+        return response
+    code = response.get("error", "internal")
+    message = response.get("message", "")
+    if code == "backpressure":
+        raise BackpressureError(message)
+    raise ServiceError(code, message)
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """One request/response channel to a server (selected by negotiation).
+
+    Implementations are synchronous and connection-oriented; ``call``
+    performs one round trip and returns the decoded ``ok`` response
+    payload (raising via :func:`raise_for_error` otherwise).  ``append``
+    is split out so the binary transport can ship the value batch as a
+    raw float64 frame instead of a JSON document.
+    """
+
+    proto: int
+
+    def call(self, request: dict) -> dict:
+        """Send one request object; return the decoded ``ok`` response."""
+        ...
+
+    def append(self, stream: str, values, config: dict) -> dict:
+        """Send one append batch; return the decoded ``ok`` response."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying connection."""
+        ...
+
+
+class _BufferedSocket:
+    """Fragmentation-safe reads over any socket-like object.
+
+    Only ``recv``, ``sendall`` and ``close`` are required of ``sock``,
+    so tests can substitute a deliberately fragmenting shim.
+    """
+
+    __slots__ = ("sock", "_buf")
+
+    def __init__(self, sock, buffered: bytes = b"") -> None:
+        self.sock = sock
+        self._buf = bytearray(buffered)
+
+    def send_all(self, *chunks) -> None:
+        for chunk in chunks:
+            self.sock.sendall(chunk)
+
+    def recv_line(self, limit: int) -> bytes:
+        """One ``\\n``-terminated line, however the bytes arrive."""
+        buf = self._buf
+        while True:
+            idx = buf.find(b"\n")
+            if idx >= 0:
+                line = bytes(buf[: idx + 1])
+                del buf[: idx + 1]
+                return line
+            if len(buf) > limit:
+                raise ConnectionError(
+                    f"response line exceeds {limit} bytes without a newline"
+                )
+            chunk = self.sock.recv(_RECV_CHUNK)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            buf += chunk
+
+    def recv_exactly(self, n: int) -> bytes:
+        """Exactly ``n`` bytes, however the bytes arrive."""
+        buf = self._buf
+        while len(buf) < n:
+            chunk = self.sock.recv(_RECV_CHUNK)
+            if not chunk:
+                raise ConnectionError(
+                    f"server closed the connection mid-frame "
+                    f"({len(buf)} of {n} bytes received)"
+                )
+            buf += chunk
+        out = bytes(buf[:n])
+        del buf[:n]
+        return out
+
+    def leftover(self) -> bytes:
+        """Unconsumed bytes (handed to a successor transport)."""
+        return bytes(self._buf)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class JsonTransport:
+    """Protocol 1: newline-delimited JSON, one request line per response."""
+
+    proto = wire.PROTO_JSON
+
+    def __init__(self, sock, *, max_line: int = wire.MAX_PAYLOAD_BYTES) -> None:
+        self._io = sock if isinstance(sock, _BufferedSocket) else _BufferedSocket(sock)
+        self._max_line = max_line
+
+    def call(self, request: dict) -> dict:
+        """One JSON line out, one JSON line back (fragmentation-safe)."""
+        self._io.send_all(
+            (json.dumps(request, separators=(",", ":")) + "\n").encode("utf-8")
+        )
+        line = self._io.recv_line(self._max_line)
+        return raise_for_error(json.loads(line))
+
+    def append(self, stream: str, values, config: dict) -> dict:
+        """Append as a JSON document (values listified once)."""
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        elif not isinstance(values, list):
+            values = list(values)
+        return self.call(
+            {"op": "append", "stream": stream, "values": values, **config}
+        )
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._io.close()
+
+
+class BinaryTransport:
+    """Protocol 2: length-prefixed binary frames (``repro.service.wire``).
+
+    Appends travel as ``OP_APPEND`` frames -- a float64 C-contiguous
+    ndarray is written straight from its own buffer (no copy); every
+    other op rides in an ``OP_JSON`` frame.
+    """
+
+    proto = wire.PROTO_BINARY
+
+    def __init__(self, sock) -> None:
+        self._io = sock if isinstance(sock, _BufferedSocket) else _BufferedSocket(sock)
+
+    def call(self, request: dict) -> dict:
+        """One ``OP_JSON`` frame out, one ``OP_OK``/``OP_ERR`` frame back."""
+        self._io.send_all(wire.encode_json_frame(wire.OP_JSON, request))
+        return self._read_response()
+
+    def append(self, stream: str, values, config: dict) -> dict:
+        """Append as one raw float64 ``OP_APPEND`` frame (zero-copy)."""
+        head, value_bytes = wire.encode_append_payload(
+            {"stream": stream, **config}, np.asarray(values)
+        )
+        self._io.send_all(head, value_bytes)
+        return self._read_response()
+
+    def _read_response(self) -> dict:
+        opcode, length = wire.decode_header(
+            self._io.recv_exactly(wire.HEADER_BYTES)
+        )
+        payload = self._io.recv_exactly(length)
+        if opcode not in (wire.OP_OK, wire.OP_ERR):
+            raise wire.WireError(
+                f"unexpected response opcode 0x{opcode:02x}"
+            )
+        return raise_for_error(wire.decode_json_payload(payload))
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._io.close()
+
+
+def negotiate_transport(
+    sock, *, prefer: str = "auto", buffered: bytes = b""
+) -> tuple[Transport, ServerInfo]:
+    """Run ``hello`` over a fresh connection; return (transport, info).
+
+    ``prefer`` is ``"auto"`` (negotiate the best protocol), ``"json"``
+    (skip negotiation entirely -- also the compatibility mode for
+    pre-``hello`` servers), or ``"binary"`` (raise unless the server
+    speaks protocol 2).  The same socket is reused across the switch;
+    any bytes read beyond the hello response are carried over.
+    """
+    io = sock if isinstance(sock, _BufferedSocket) else _BufferedSocket(sock, buffered)
+    json_transport = JsonTransport(io)
+    if prefer == "json":
+        return json_transport, ServerInfo(
+            proto=wire.PROTO_JSON,
+            protocols=(wire.PROTO_JSON,),
+            negotiated=False,
+        )
+    if prefer not in ("auto", "binary"):
+        raise ValueError(
+            f'transport must be "auto", "json", or "binary", got {prefer!r}'
+        )
+    try:
+        response = json_transport.call(
+            {"op": "hello", "proto": list(wire.ALL_PROTOCOLS)}
+        )
+    except ServiceError as exc:
+        if exc.code == "unknown-op" and prefer == "auto":
+            # Pre-negotiation server: stay on JSON lines.
+            return json_transport, ServerInfo(
+                proto=wire.PROTO_JSON,
+                protocols=(wire.PROTO_JSON,),
+                negotiated=False,
+            )
+        raise
+    server = response.get("server", {})
+    info = ServerInfo(
+        proto=int(response.get("proto", wire.PROTO_JSON)),
+        protocols=tuple(server.get("protocols", (wire.PROTO_JSON,))),
+        server=server.get("name", "repro-histogram"),
+        wire_version=server.get("wire_version"),
+    )
+    if info.proto == wire.PROTO_BINARY:
+        return BinaryTransport(io), info
+    if prefer == "binary":
+        raise ServiceError(
+            "bad-request",
+            f"server only speaks protocol(s) {info.protocols}; "
+            "binary transport unavailable",
+        )
+    return json_transport, info
+
+
+class ServiceClient:
+    """Blocking client for :class:`~repro.service.StreamServer`.
+
+    One TCP connection, synchronous request/response, typed results
+    (:mod:`repro.service.types`).  The transport -- JSON lines or binary
+    frames -- is negotiated at connect time and visible as
+    :attr:`info`; pass ``transport="json"`` / ``"binary"`` to pin it.
+
+    Error responses raise :class:`ServiceError` (with
+    :class:`~repro.exceptions.BackpressureError` for the
+    ``backpressure`` code so engine-side and wire-side callers catch
+    the same exception type).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        transport: str = "auto",
+    ) -> None:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        # Every request is a small write (or two: header then payload)
+        # followed by a blocking read, the exact pattern that trips the
+        # Nagle / delayed-ACK interaction (~40 ms stall per round trip).
+        # Disable Nagle: this is a request/response protocol, the client
+        # always has a reader waiting.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - exotic transports only
+            pass
+        try:
+            self._transport, self._info = negotiate_transport(
+                sock, prefer=transport
+            )
+        except BaseException:
+            sock.close()
+            raise
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._transport.close()
+
+    # -- connection introspection -------------------------------------------
+
+    @property
+    def info(self) -> ServerInfo:
+        """What ``hello`` negotiation learned (protocol, server identity)."""
+        return self._info
+
+    @property
+    def transport(self) -> Transport:
+        """The live transport (a :class:`JsonTransport` or
+        :class:`BinaryTransport`)."""
+        return self._transport
+
+    # -- typed operations ----------------------------------------------------
+
+    def append(self, stream: str, values, **config) -> AppendResult:
+        """Append values to a stream (creating it from ``config``).
+
+        ``values`` may be a scalar, any sequence, or a numpy ndarray --
+        one unified signature (``docs/API.md``).  On the binary
+        transport an ndarray is shipped as a single raw float64 frame
+        with no per-item conversion; a float64 C-contiguous array is
+        not even copied.
+        """
+        response = self._transport.append(stream, coerce_batch(values), config)
+        return AppendResult(
+            stream=response.get("stream", stream),
+            accepted=int(response["accepted"]),
+        )
+
+    def query(self, stream: str, *, drain: bool = False) -> QueryResult:
+        """The stream's histogram as a :class:`QueryResult` whose
+        ``histogram`` is a real :class:`~repro.core.histogram.Histogram`
+        (``drain=True`` for a barrier: all queued batches apply before
+        the query runs)."""
+        response = self._transport.call(
+            {"op": "query", "stream": stream, "drain": drain}
+        )
+        return QueryResult(
+            stream=stream,
+            histogram=Histogram.from_dict(response["histogram"]),
+        )
+
+    def stats(self, stream: Optional[str] = None) -> StatsResult:
+        """Engine-wide (or per-stream) statistics."""
+        payload: dict[str, Any] = {"op": "stats"}
+        if stream is not None:
+            payload["stream"] = stream
+        response = self._transport.call(payload)
+        return StatsResult(stream=stream, data=response["stats"])
+
+    def checkpoint(self, stream: Optional[str] = None) -> CheckpointResult:
+        """Force snapshots; returns the generations written per stream."""
+        payload: dict[str, Any] = {"op": "checkpoint"}
+        if stream is not None:
+            payload["stream"] = stream
+        response = self._transport.call(payload)
+        return CheckpointResult(generations=response["generations"])
+
+    def streams(self) -> tuple[str, ...]:
+        """The server's registered stream ids, sorted."""
+        return tuple(self._transport.call({"op": "streams"})["streams"])
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self._transport.call({"op": "ping"}).get("pong"))
+
+    # -- deprecated v1 surface ------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one raw request dict; return the raw response payload.
+
+        .. deprecated::
+            The dict-in/dict-out surface is superseded by the typed
+            methods (:meth:`append`, :meth:`query`, :meth:`stats`, ...).
+            This shim routes through the negotiated transport and will
+            be removed after the usual deprecation window.
+        """
+        warnings.warn(
+            "ServiceClient.request(payload) is deprecated; use the typed "
+            "methods (append/query/stats/checkpoint/streams/ping) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if payload.get("op") == "append":
+            rest = dict(payload)
+            rest.pop("op")
+            values = rest.pop("values", [])
+            stream = rest.pop("stream", "")
+            return self._transport.append(stream, values, rest)
+        # Malformed payloads (no "op") pass through untouched so the
+        # server's bad-request answer surfaces exactly as in v1.
+        return self._transport.call(payload)

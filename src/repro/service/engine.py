@@ -47,6 +47,7 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro.api import DEFAULT_UNIVERSE, build_summary, streaming_methods
+from repro.core.batch import coerce_batch
 from repro.core.histogram import Histogram, HistogramMeta
 from repro.exceptions import (
     BackpressureError,
@@ -256,6 +257,10 @@ class StreamEngine:
             self._ready.put(_SHUTDOWN)
         for thread in self._workers:
             thread.join(timeout=5.0)
+        for tenant in list(self._tenants.values()):
+            if tenant.store is not None:
+                with tenant.lock:
+                    tenant.store.close()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until all accepted batches have applied (True on success)."""
@@ -479,8 +484,14 @@ class StreamEngine:
 
     # -- ingest --------------------------------------------------------------
 
-    def append(self, stream_id: str, values: Sequence) -> int:
-        """Append a batch to the named stream; returns the item count.
+    def append(self, stream_id: str, values) -> int:
+        """Append values to the named stream; returns the item count.
+
+        One unified signature (``docs/API.md``): ``values`` may be a
+        scalar, any sequence, or a numpy ndarray -- normalized through
+        :func:`~repro.core.batch.coerce_batch`, so an ndarray (e.g. the
+        zero-copy view over a binary wire frame) reaches the vectorized
+        batch kernels without conversion.
 
         Synchronous engines (``workers=0``) apply inline before
         returning; worker engines enqueue and return immediately (call
@@ -491,8 +502,7 @@ class StreamEngine:
         """
         self._check_open()
         tenant = self._tenant(stream_id)
-        if not hasattr(values, "__len__"):
-            values = list(values)
+        values = coerce_batch(values)
         n = len(values)
         if n == 0:
             return 0
@@ -540,8 +550,14 @@ class StreamEngine:
                     tenant.idle.notify_all()
                     return
                 batch = tenant.pending.popleft()
+                more = bool(tenant.pending)
             try:
-                self._apply(tenant, batch)
+                # Group commit: while more batches are queued behind this
+                # one, defer the journal fsync -- the drain's final batch
+                # (or the next snapshot) commits the whole run with one
+                # fsync.  Frame/batch boundaries stay the durability
+                # boundaries the caller observes via drain().
+                self._apply(tenant, batch, sync=not more)
             except ReproError as exc:
                 # A worker must survive a poisoned batch (e.g. a value
                 # outside the stream's universe): record and move on.
@@ -553,12 +569,12 @@ class StreamEngine:
                     if not tenant.pending_items:
                         tenant.idle.notify_all()
 
-    def _apply(self, tenant: _Tenant, values) -> None:
+    def _apply(self, tenant: _Tenant, values, *, sync: bool = True) -> None:
         if self.apply_hook is not None:
             self.apply_hook(tenant.stream_id, len(values))
         with tenant.lock:
             if tenant.store is not None:
-                tenant.store.ingest(tenant.summary, values)
+                tenant.store.ingest(tenant.summary, values, sync=sync)
             else:
                 tenant.summary.extend(values)
             tenant.since_snapshot += len(values)

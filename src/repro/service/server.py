@@ -1,8 +1,9 @@
 """Asyncio wire front for a :class:`~repro.service.StreamEngine`.
 
-Newline-delimited JSON over TCP -- the simplest wire format the stdlib
-can serve and every language can speak.  One request per line, one
-response per line (see ``docs/SERVICE.md`` for the full schema)::
+Every connection starts in **protocol 1**: newline-delimited JSON over
+TCP -- the simplest wire format the stdlib can serve and every language
+can speak.  One request per line, one response per line (see
+``docs/SERVICE.md`` for the full schema)::
 
     {"op": "append", "stream": "sku-42", "values": [3, 1, 4],
      "method": "min-merge", "buckets": 32}
@@ -12,27 +13,40 @@ response per line (see ``docs/SERVICE.md`` for the full schema)::
     {"ok": true, "histogram": {"error": ..., "segments": [...],
                                "meta": {...}}}
 
-Operations: ``append`` (creates the stream on first use from the
-request's config), ``query``, ``stats``, ``checkpoint``, ``streams``,
-``ping``.  Errors come back as ``{"ok": false, "error": <code>,
-"message": ...}`` with codes ``backpressure`` (queue bound hit -- back
-off and retry), ``invalid`` (bad parameters / unknown stream),
-``empty`` (query before any data), ``bad-request`` (malformed JSON or
-missing fields), ``unknown-op``, and ``internal``.
+A ``hello`` request (``{"op": "hello", "proto": [1, 2]}``) negotiates
+the connection up to **protocol 2**: the length-prefixed binary framing
+of :mod:`repro.service.wire` (``docs/WIRE.md``).  Binary append frames
+carry raw float64 values that travel socket -> ``numpy.frombuffer`` ->
+the engine's batched ``extend()`` with zero per-item Python objects --
+the ingest hot path the JSON format cannot reach.  JSON remains the
+default and the fallback; a connection that never says hello is served
+exactly as before.
+
+Operations: ``hello``, ``append`` (creates the stream on first use from
+the request's config), ``query``, ``stats``, ``checkpoint``,
+``streams``, ``ping``.  Errors come back as ``{"ok": false, "error":
+<code>, "message": ...}`` with codes ``backpressure`` (queue bound hit
+-- back off and retry), ``invalid`` (bad parameters / unknown stream),
+``empty`` (query before any data), ``bad-request`` (malformed JSON,
+malformed binary frame, missing fields, non-finite values),
+``unknown-op``, and ``internal``.  In binary mode a *framing* error
+(bad magic, bad version, oversized length) additionally closes the
+connection: a desynchronized byte stream cannot be re-synchronized.
 
 The event loop never blocks on the engine: every engine call runs in a
 thread-pool executor, so slow batch applies on one connection do not
 stall others.  The engine itself is thread-safe (per-stream locks), so
-any number of connections may hit the same stream.
+any number of connections -- on either protocol -- may hit the same
+stream.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-import socket
 import threading
-from typing import Optional
+from math import isfinite
+from typing import Optional, Sequence
 
 from repro.exceptions import (
     BackpressureError,
@@ -40,6 +54,7 @@ from repro.exceptions import (
     InvalidParameterError,
     ReproError,
 )
+from repro.service import wire
 from repro.service.engine import StreamEngine
 
 #: Refuse request lines longer than this many bytes (a malformed or
@@ -48,9 +63,17 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 
 _STREAM_CONFIG_KEYS = ("method", "buckets", "epsilon", "universe", "window")
 
+_SERVER_NAME = "repro-histogram"
+
+#: First byte of the frame magic (0xF5).  It can never begin a JSON
+#: document (it is not even a legal UTF-8 lead byte), so peeking one byte
+#: distinguishes a stray binary frame from a JSON line without waiting
+#: for a newline that a binary frame will never contain.
+_MAGIC_BYTE = bytes([wire.MAGIC >> 8])
+
 
 class StreamServer:
-    """Serve one engine over newline-delimited JSON on TCP.
+    """Serve one engine over TCP: JSON lines, with negotiated binary.
 
     Parameters
     ----------
@@ -60,6 +83,11 @@ class StreamServer:
     host / port:
         Bind address; ``port=0`` picks a free port (read it back from
         :attr:`port` after :meth:`start`).
+    protocols:
+        Protocol numbers this server advertises in ``hello`` responses.
+        The default offers both JSON lines (1) and binary frames (2);
+        pass ``(1,)`` to pin every connection to JSON (the CLI's
+        ``--no-binary``).
     """
 
     def __init__(
@@ -68,10 +96,17 @@ class StreamServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        protocols: Sequence[int] = wire.ALL_PROTOCOLS,
     ) -> None:
         self.engine = engine
         self.host = host
         self.port = port
+        self.protocols = tuple(int(p) for p in protocols)
+        if wire.PROTO_JSON not in self.protocols:
+            raise InvalidParameterError(
+                "the server must always speak protocol 1 (JSON lines); "
+                f"got protocols={self.protocols}"
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -114,7 +149,8 @@ class StreamServer:
         """Run the server on a daemon thread; returns once it is bound.
 
         The test/smoke entry point: callers talk to it with
-        :class:`ServiceClient` and call :meth:`stop` when done.
+        :class:`~repro.service.client.ServiceClient` and call
+        :meth:`stop` when done.
         """
         self._thread = threading.Thread(
             target=self.run, name="repro-stream-server", daemon=True
@@ -133,24 +169,51 @@ class StreamServer:
             self._thread.join(timeout=5.0)
             self._thread = None
 
-    # -- request handling ---------------------------------------------------
+    # -- connection handling (protocol state machine) ------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
-        """One client: read request lines, write response lines, forever."""
+        """One client: JSON lines until ``hello`` negotiates binary."""
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(_error("bad-request", "request too long"))
+                first = await reader.read(1)
+                if not first:
+                    break
+                if first in b"\r\n":
+                    continue
+                if first == _MAGIC_BYTE:
+                    # A binary frame before negotiation: refuse loudly
+                    # rather than feeding frame bytes to the JSON parser
+                    # (or blocking on a newline the frame will never send).
+                    writer.write(
+                        _json_error(
+                            "bad-request",
+                            "binary frame before negotiation; send "
+                            '{"op": "hello", "proto": [1, 2]} first',
+                        )
+                    )
                     await writer.drain()
                     break
-                if not line:
+                try:
+                    line = first + await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_json_error("bad-request", "request too long"))
+                    await writer.drain()
                     break
                 if not line.strip():
                     continue
-                response = await self._dispatch(line)
-                writer.write(response)
+                request = _parse_json_line(line)
+                if isinstance(request, dict) and request.get("op") == "hello":
+                    ok, payload, proto = self._negotiate(request)
+                    writer.write(
+                        _encode_json(ok, payload)
+                    )
+                    await writer.drain()
+                    if ok and proto == wire.PROTO_BINARY:
+                        await self._serve_binary(reader, writer)
+                        break
+                    continue
+                ok, payload = await self._dispatch(request)
+                writer.write(_encode_json(ok, payload))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -167,29 +230,133 @@ class StreamServer:
                 # finishing normally here keeps teardown quiet.
                 pass
 
-    async def _dispatch(self, line: bytes) -> bytes:
-        try:
-            request = json.loads(line)
-        except ValueError:
-            return _error("bad-request", "request is not valid JSON")
+    async def _serve_binary(self, reader, writer) -> None:
+        """Protocol 2: length-prefixed frames until EOF or framing error."""
+        while True:
+            try:
+                header = await reader.readexactly(wire.HEADER_BYTES)
+            except asyncio.IncompleteReadError:
+                return  # clean EOF (possibly mid-header on abrupt close)
+            try:
+                opcode, length = wire.decode_header(header)
+                payload = await reader.readexactly(length)
+            except wire.WireError as exc:
+                # Framing errors desynchronize the stream: answer and close.
+                writer.write(_frame_error("bad-request", str(exc)))
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            ok, response = await self._dispatch_frame(opcode, payload)
+            writer.write(_encode_frame(ok, response))
+            await writer.drain()
+
+    async def _dispatch_frame(self, opcode: int, payload) -> tuple[bool, dict]:
+        if opcode == wire.OP_APPEND:
+            try:
+                meta, values = wire.decode_append_payload(payload)
+            except wire.WireError as exc:
+                return False, {"error": "bad-request", "message": str(exc)}
+            return await self._run_handler(self._append_array, meta, values)
+        if opcode == wire.OP_JSON:
+            try:
+                request = wire.decode_json_payload(payload)
+            except wire.WireError as exc:
+                return False, {"error": "bad-request", "message": str(exc)}
+            if request.get("op") == "hello":
+                # Re-negotiation inside binary mode is a no-op: report
+                # the live protocol without switching anything.
+                ok, response, _proto = self._negotiate(
+                    request, active=wire.PROTO_BINARY
+                )
+                return ok, response
+            return await self._dispatch(request)
+        return False, {
+            "error": "bad-request",
+            "message": f"unexpected opcode 0x{opcode:02x} in a request",
+        }
+
+    # -- negotiation ---------------------------------------------------------
+
+    def _negotiate(
+        self, request: dict, *, active: Optional[int] = None
+    ) -> tuple[bool, dict, Optional[int]]:
+        """Handle ``hello``; returns ``(ok, payload, negotiated_proto)``."""
+        offered = request.get("proto", [wire.PROTO_JSON])
+        if not isinstance(offered, (list, tuple)):
+            return (
+                False,
+                {
+                    "error": "bad-request",
+                    "message": '"proto" must be a JSON array of protocol '
+                    "numbers",
+                },
+                None,
+            )
+        chosen = wire.negotiate(offered, self.protocols)
+        if chosen is None:
+            return (
+                False,
+                {
+                    "error": "bad-request",
+                    "message": f"no common protocol: client offered "
+                    f"{list(offered)}, server speaks "
+                    f"{list(self.protocols)}",
+                },
+                None,
+            )
+        if active is not None:
+            chosen = active
+        payload = {
+            "proto": chosen,
+            "server": {
+                "name": _SERVER_NAME,
+                "wire_version": wire.WIRE_VERSION,
+                "protocols": list(self.protocols),
+            },
+        }
+        return True, payload, chosen
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _dispatch(self, request) -> tuple[bool, dict]:
+        """Route one decoded request; returns ``(ok, payload)``."""
+        if isinstance(request, _BadRequest):
+            return False, {"error": "bad-request", "message": request.message}
         if not isinstance(request, dict) or "op" not in request:
-            return _error("bad-request", 'request must be {"op": ..., ...}')
+            return False, {
+                "error": "bad-request",
+                "message": 'request must be {"op": ..., ...}',
+            }
         op = request["op"]
         handler = getattr(self, f"_op_{str(op).replace('-', '_')}", None)
         if handler is None:
-            return _error("unknown-op", f"unknown op {op!r}")
+            return False, {
+                "error": "unknown-op",
+                "message": f"unknown op {op!r}",
+            }
+        return await self._run_handler(handler, request)
+
+    async def _run_handler(self, handler, *args) -> tuple[bool, dict]:
+        """Run an engine-touching handler on the executor; map errors."""
         loop = asyncio.get_running_loop()
         try:
-            payload = await loop.run_in_executor(None, handler, request)
+            payload = await loop.run_in_executor(None, handler, *args)
         except BackpressureError as exc:
-            return _error("backpressure", str(exc))
+            return False, {"error": "backpressure", "message": str(exc)}
         except EmptySummaryError as exc:
-            return _error("empty", str(exc))
+            return False, {"error": "empty", "message": str(exc)}
         except (InvalidParameterError, KeyError, TypeError) as exc:
-            return _error("invalid", f"{type(exc).__name__}: {exc}")
+            return False, {
+                "error": "invalid",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
         except ReproError as exc:  # pragma: no cover - defensive
-            return _error("internal", f"{type(exc).__name__}: {exc}")
-        return _ok(payload)
+            return False, {
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        return True, payload
 
     # -- operations (run on executor threads) -------------------------------
 
@@ -212,9 +379,29 @@ class StreamServer:
 
     def _op_append(self, request: dict) -> dict:
         values = request["values"]
+        if isinstance(values, (int, float)):
+            values = [values]
         if not isinstance(values, (list, tuple)):
-            raise InvalidParameterError("values must be a JSON array")
+            raise InvalidParameterError(
+                "values must be a JSON array or a single number"
+            )
+        for v in values:
+            if isinstance(v, float) and not isfinite(v):
+                raise InvalidParameterError(
+                    "append payload contains non-finite (NaN/inf) values"
+                )
         handle = self._stream_for(request)
+        accepted = handle.append(values)
+        return {"accepted": accepted, "stream": handle.stream_id}
+
+    def _append_array(self, meta: dict, values) -> dict:
+        """Zero-copy append: the binary frame's ndarray goes straight in.
+
+        ``values`` is the read-only float64 view the wire layer built
+        over the frame payload; it reaches the summaries' vectorized
+        ``extend()`` without any per-item conversion.
+        """
+        handle = self._stream_for(meta)
         accepted = handle.append(values)
         return {"accepted": accepted, "stream": handle.stream_id}
 
@@ -244,109 +431,44 @@ class StreamServer:
         return {"pong": True}
 
 
-def _ok(payload: dict) -> bytes:
-    return (
-        json.dumps({"ok": True, **payload}, separators=(",", ":")) + "\n"
-    ).encode("utf-8")
+class _BadRequest:
+    """Sentinel for an unparseable request line (carries the message)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = message
 
 
-def _error(code: str, message: str) -> bytes:
-    return (
-        json.dumps(
-            {"ok": False, "error": code, "message": message},
-            separators=(",", ":"),
-        )
-        + "\n"
-    ).encode("utf-8")
+def _parse_json_line(line: bytes):
+    try:
+        return json.loads(line)
+    except ValueError:
+        return _BadRequest("request is not valid JSON")
 
 
-class ServiceError(ReproError):
-    """A server-side error response, surfaced client-side.
-
-    Carries the wire error ``code`` (``backpressure``, ``invalid``,
-    ``empty``, ...) so callers can branch without string-matching the
-    message.
-    """
-
-    def __init__(self, code: str, message: str) -> None:
-        super().__init__(f"[{code}] {message}")
-        self.code = code
+# -- response encoders -------------------------------------------------------
 
 
-class ServiceClient:
-    """Minimal blocking client for :class:`StreamServer` (tests, CLI, CI).
+def _encode_json(ok: bool, payload: dict) -> bytes:
+    body = {"ok": True, **payload} if ok else {"ok": False, **payload}
+    return (json.dumps(body, separators=(",", ":")) + "\n").encode("utf-8")
 
-    One TCP connection, synchronous request/response.  Error responses
-    raise :class:`ServiceError` (with :class:`BackpressureError` for the
-    ``backpressure`` code so engine-side and wire-side callers catch the
-    same exception type).
-    """
 
-    def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
-    ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+def _json_error(code: str, message: str) -> bytes:
+    return _encode_json(False, {"error": code, "message": message})
 
-    def __enter__(self) -> "ServiceClient":
-        return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+def _encode_frame(ok: bool, payload: dict) -> bytes:
+    if ok:
+        return wire.encode_json_frame(wire.OP_OK, {"ok": True, **payload})
+    return wire.encode_json_frame(wire.OP_ERR, {"ok": False, **payload})
 
-    def close(self) -> None:
-        """Close the connection."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
 
-    def request(self, payload: dict) -> dict:
-        """Send one request dict, return the decoded response payload."""
-        self._file.write(
-            (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
-        )
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = json.loads(line)
-        if not response.get("ok"):
-            code = response.get("error", "internal")
-            message = response.get("message", "")
-            if code == "backpressure":
-                raise BackpressureError(message)
-            raise ServiceError(code, message)
-        return response
+def _frame_error(code: str, message: str) -> bytes:
+    return _encode_frame(False, {"error": code, "message": message})
 
-    def append(self, stream: str, values, **config) -> int:
-        """Append values to a stream (creating it from ``config``)."""
-        response = self.request(
-            {"op": "append", "stream": stream, "values": list(values), **config}
-        )
-        return response["accepted"]
 
-    def query(self, stream: str, *, drain: bool = False) -> dict:
-        """The stream's histogram as its wire dict (``drain=True`` for a
-        barrier: all queued batches apply before the query runs)."""
-        return self.request({"op": "query", "stream": stream, "drain": drain})[
-            "histogram"
-        ]
-
-    def stats(self, stream: Optional[str] = None) -> dict:
-        """Engine-wide (or per-stream) statistics."""
-        payload = {"op": "stats"}
-        if stream is not None:
-            payload["stream"] = stream
-        return self.request(payload)["stats"]
-
-    def checkpoint(self, stream: Optional[str] = None) -> dict:
-        """Force snapshots; returns ``{stream_id: generation}``."""
-        payload = {"op": "checkpoint"}
-        if stream is not None:
-            payload["stream"] = stream
-        return self.request(payload)["generations"]
-
-    def ping(self) -> bool:
-        """Liveness probe."""
-        return bool(self.request({"op": "ping"}).get("pong"))
+# Backwards-compatible re-exports: the client classes lived here before
+# the v2 transport split (import sites: tests, benchmarks, user code).
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402,F401

@@ -19,7 +19,7 @@ session changes no math, only lifetimes (see ``docs/SERVICE.md``).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.histogram import Histogram
 from repro.service.engine import StreamEngine
@@ -54,12 +54,15 @@ class StreamHandle:
         """Items applied so far (queued-but-unapplied items excluded)."""
         return self._engine.items_seen(self._tenant.stream_id)
 
-    def append(self, values: Sequence) -> int:
-        """Append a batch of values; returns the accepted item count.
+    def append(self, values) -> int:
+        """Append values; returns the accepted item count.
 
-        May raise :class:`~repro.exceptions.BackpressureError` on a
-        worker engine whose queue bound is hit -- nothing is ingested in
-        that case, so the same batch is safe to retry.
+        One unified signature (``docs/API.md``): a scalar, any sequence,
+        or a numpy ndarray -- an ndarray goes straight to the vectorized
+        batch kernels with no per-item conversion.  May raise
+        :class:`~repro.exceptions.BackpressureError` on a worker engine
+        whose queue bound is hit -- nothing is ingested in that case, so
+        the same batch is safe to retry.
         """
         return self._engine.append(self._tenant.stream_id, values)
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+_KEEP = object()  # sentinel: update() leaves the item payload untouched
+
 
 class AddressableMinHeap:
     """Binary min-heap with O(log n) update/remove by handle."""
@@ -85,11 +87,19 @@ class AddressableMinHeap:
         """Item payload of the entry identified by ``handle``."""
         return self._items[self._slot_of[handle]]
 
-    def update(self, handle: int, new_key) -> None:
-        """Change the key of an existing entry (any direction)."""
+    def update(self, handle: int, new_key, item=_KEEP) -> None:
+        """Change the key of an existing entry (any direction), in place.
+
+        One sift replaces the remove + push pair a naive caller would
+        issue -- half the comparisons, no handle churn.  Pass ``item`` to
+        atomically repoint the entry's payload as well (MIN-MERGE reuses
+        a dying pair's entry for the pair that replaces it).
+        """
         slot = self._slot_of[handle]
         old_key = self._keys[slot]
         self._keys[slot] = new_key
+        if item is not _KEEP:
+            self._items[slot] = item
         if new_key < old_key:
             self._sift_up(slot)
         elif new_key > old_key:

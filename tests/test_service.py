@@ -338,41 +338,84 @@ class TestEngineApi:
 
 
 class TestWireProtocol:
-    @pytest.fixture()
-    def service(self):
+    """Wire-front contracts, run over both negotiated transports.
+
+    The framing internals (frame layout, truncation, fragmentation,
+    mixed-protocol bit-identity) live in ``tests/test_wire.py``; this
+    class pins the request/response semantics shared by both protocols.
+    """
+
+    @pytest.fixture(params=["json", "binary"])
+    def service(self, request):
         engine = StreamEngine(workers=1)
         server = StreamServer(engine).start_in_background()
-        client = ServiceClient(port=server.port)
-        yield client, engine
+        client = ServiceClient(port=server.port, transport=request.param)
+        yield client, engine, server
         client.close()
         server.stop()
         engine.close()
 
     def test_append_query_roundtrip_matches_summarize(self, service):
-        client, _engine = service
+        client, _engine, _server = service
         values = _dataset(2000)
         assert client.ping()
-        accepted = client.append(
+        result = client.append(
             "wire", values, method="min-merge", buckets=8
         )
-        assert accepted == len(values)
-        hist = client.query("wire", drain=True)
+        assert result.accepted == len(values)
+        assert int(result) == len(values)
+        assert result.stream == "wire"
+        hist = client.query("wire", drain=True).histogram
         oracle = summarize(values, 8, method="min-merge")
-        assert hist["error"] == oracle.error
-        assert [
-            [s.beg, s.end, s.left, s.right] for s in oracle.segments
-        ] == hist["segments"]
-        assert hist["meta"]["items_seen"] == len(values)
+        assert _same_histogram(hist, oracle)
+        assert hist.meta.items_seen == len(values)
+        assert hist.meta.method == "min-merge"
+
+    def test_negotiated_transport_is_visible(self, service):
+        client, _engine, _server = service
+        info = client.info
+        if info.negotiated:
+            assert info.proto == 2
+            assert info.protocols == (1, 2)
+            assert info.server == "repro-histogram"
+            assert info.wire_version == 1
+        else:
+            # transport="json" skips hello entirely (the v1-compatible
+            # mode); the connection is pinned to protocol 1.
+            assert info.proto == 1
+            assert info.protocols == (1,)
+
+    def test_scalar_and_ndarray_appends_unify(self, service):
+        np = pytest.importorskip("numpy")
+        client, _engine, _server = service
+        assert client.append("u", 7.0, method="min-merge", buckets=4
+                             ).accepted == 1
+        assert client.append("u", [1, 2]).accepted == 2
+        assert client.append("u", np.arange(3.0)).accepted == 3
+        hist = client.query("u", drain=True).histogram
+        assert hist.meta.items_seen == 6
 
     def test_stats_and_streams_ops(self, service):
-        client, _engine = service
+        client, _engine, _server = service
         client.append("s1", [1, 2, 3], method="min-merge", buckets=4)
         stats = client.stats("s1")
         assert stats["appends"] == 1
-        assert client.request({"op": "streams"})["streams"] == ["s1"]
+        assert stats.get("method") == "min-merge"
+        assert client.streams() == ("s1",)
+
+    def test_request_shim_is_deprecated_but_works(self, service):
+        client, _engine, _server = service
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            response = client.request(
+                {"op": "append", "stream": "d", "values": [1, 2],
+                 "method": "min-merge", "buckets": 4}
+            )
+        assert response["accepted"] == 2
+        with pytest.warns(DeprecationWarning):
+            assert client.request({"op": "streams"})["streams"] == ["d"]
 
     def test_error_codes(self, service):
-        client, _engine = service
+        client, _engine, _server = service
         with pytest.raises(ServiceError) as excinfo:
             client.query("missing")
         assert excinfo.value.code == "invalid"
@@ -381,24 +424,41 @@ class TestWireProtocol:
             client.query("e")
         assert excinfo.value.code == "empty"
         with pytest.raises(ServiceError) as excinfo:
-            client.request({"op": "does-not-exist"})
+            client.transport.call({"op": "does-not-exist"})
         assert excinfo.value.code == "unknown-op"
         with pytest.raises(ServiceError) as excinfo:
-            client.request({"op": "checkpoint", "stream": "e"})
+            client.checkpoint("e")
         assert excinfo.value.code == "invalid"  # no checkpoint store
 
+    def test_non_finite_values_rejected(self, service):
+        client, _engine, _server = service
+        client.append("f", [1.0], method="min-merge", buckets=4)
+        with pytest.raises(ServiceError) as excinfo:
+            client.append("f", [2.0, float("nan")])
+        assert excinfo.value.code in ("invalid", "bad-request")
+        assert client.query("f", drain=True).histogram.meta.items_seen == 1
+
     def test_malformed_requests(self, service):
-        client, _engine = service
-        client._file.write(b"this is not json\n")
-        client._file.flush()
-        response = json.loads(client._file.readline())
+        import socket as socket_mod
+
+        client, _engine, server = service
+        # A raw junk line on a fresh connection (transport-independent:
+        # every connection starts in JSON mode).
+        with socket_mod.create_connection(
+            ("127.0.0.1", server.port), timeout=10.0
+        ) as raw:
+            raw.sendall(b"this is not json\n")
+            response = json.loads(raw.makefile("rb").readline())
         assert response == {
             "ok": False,
             "error": "bad-request",
             "message": "request is not valid JSON",
         }
-        with pytest.raises(ServiceError) as excinfo:
-            client.request({"no-op": 1})
+        # An op-less payload passes through the deprecated shim untouched
+        # and earns the server's bad-request, exactly as in v1.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ServiceError) as excinfo:
+                client.request({"no-op": 1})
         assert excinfo.value.code == "bad-request"
 
     def test_wire_backpressure_code(self):
@@ -415,5 +475,20 @@ class TestWireProtocol:
                     client.append("b", list(range(8)))
         finally:
             gate.set()
+            server.stop()
+            engine.close()
+
+    def test_json_only_server_falls_back(self):
+        engine = StreamEngine()
+        server = StreamServer(engine, protocols=(1,)).start_in_background()
+        try:
+            with ServiceClient(port=server.port) as client:
+                assert client.info.proto == 1
+                assert client.info.protocols == (1,)
+                assert client.append("j", [1, 2], method="min-merge",
+                                     buckets=4).accepted == 2
+            with pytest.raises(ServiceError, match="binary"):
+                ServiceClient(port=server.port, transport="binary")
+        finally:
             server.stop()
             engine.close()
