@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire service-smoke
+.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire service-smoke load-slo validate-bench
 
 # Line-coverage floor enforced by `make coverage` (and the CI coverage job).
 COV_FAIL_UNDER ?= 85
@@ -48,6 +48,8 @@ bench-smoke:
 		--json BENCH_PR.json --min-speedup 2.0
 	$(PYTHON) benchmarks/bench_parallel_ingest.py --quick \
 		--json BENCH_PARALLEL.json --min-speedup 1.3
+	$(PYTHON) benchmarks/validate_bench_json.py \
+		BENCH_PR.json BENCH_PARALLEL.json
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_ingest.py \
@@ -64,3 +66,38 @@ bench-wire:
 service-smoke:
 	$(PYTHON) benchmarks/bench_service_smoke.py --items 100000 \
 		--wire-min-speedup 3.0 --json BENCH_SERVICE.json
+	$(PYTHON) benchmarks/validate_bench_json.py BENCH_SERVICE.json
+
+# Cluster load-SLO gate (the CI `load-slo` job): boot a sharded router
+# with LOAD_WORKERS worker processes, drive LOAD_CLIENTS concurrent
+# mixed append/query clients over both transports, SIGKILL one worker
+# mid-load, and fail unless (a) a survivor adopts its streams with zero
+# acknowledged appends lost, (b) every stream's served histogram is
+# bit-identical to one-shot summarize(), and (c) p50/p99 latencies meet
+# the LOAD_SLO_* thresholds (milliseconds; calibrated with generous
+# headroom for shared runners -- override per-run as needed).
+LOAD_WORKERS ?= 3
+LOAD_CLIENTS ?= 200
+LOAD_BATCHES ?= 10
+LOAD_BATCH_SIZE ?= 100
+LOAD_SLO_APPEND_P50 ?= 1000
+LOAD_SLO_APPEND_P99 ?= 5000
+LOAD_SLO_QUERY_P50 ?= 1000
+LOAD_SLO_QUERY_P99 ?= 5000
+load-slo:
+	$(PYTHON) benchmarks/bench_load.py \
+		--cluster-workers $(LOAD_WORKERS) --clients $(LOAD_CLIENTS) \
+		--batches $(LOAD_BATCHES) --batch-size $(LOAD_BATCH_SIZE) \
+		--kill-worker \
+		--slo-append-p50-ms $(LOAD_SLO_APPEND_P50) \
+		--slo-append-p99-ms $(LOAD_SLO_APPEND_P99) \
+		--slo-query-p50-ms $(LOAD_SLO_QUERY_P50) \
+		--slo-query-p99-ms $(LOAD_SLO_QUERY_P99) \
+		--json BENCH_LOAD.json
+	$(PYTHON) benchmarks/validate_bench_json.py BENCH_LOAD.json
+
+# Sanity-check whatever benchmark artifacts exist in the worktree.
+validate-bench:
+	$(PYTHON) benchmarks/validate_bench_json.py --allow-missing \
+		BENCH_PR.json BENCH_PARALLEL.json BENCH_WIRE.json \
+		BENCH_SERVICE.json BENCH_LOAD.json

@@ -53,6 +53,16 @@ CASES = [
     ),
 ]
 
+#: Support modules whose call signature drifted since the seed commit
+#: (behaviour unchanged).  The seed classes import these names at exec
+#: time, so the seed versions are substituted into the seed module's
+#: namespace after exec; every other import resolves against the current
+#: package.  E.g. ``ErrorLadder`` renamed ``include_zero`` to
+#: ``include_zero_level`` in the service PR.
+SEED_SUPPORT = [
+    ("src/repro/core/error_ladder.py", ("ErrorLadder",)),
+]
+
 
 def _seed_source(path: str) -> str | None:
     """The file's content at the seed commit, or None if unavailable."""
@@ -71,17 +81,17 @@ def _seed_source(path: str) -> str | None:
     return proc.stdout
 
 
-def _load_seed_class(path: str, class_name: str):
-    """Exec the seed source as a synthetic module and return the class.
+def _exec_seed_module(path: str, module_name: str):
+    """Exec the seed source as a synthetic module, or None on failure.
 
     The seed module's own imports (``repro.core.bucket`` etc.) resolve
-    against the current package -- those support modules are part of the
-    public surface and unchanged in behaviour.
+    against the current package -- behaviour-compatible support modules
+    are shared, while signature-drifted ones (``SEED_SUPPORT``) are
+    substituted afterwards by :func:`_load_seed_class`.
     """
     source = _seed_source(path)
     if source is None:
         return None
-    module_name = f"_seed_{class_name.lower()}"
     spec = importlib.util.spec_from_loader(module_name, loader=None)
     module = importlib.util.module_from_spec(spec)
     module.__file__ = f"<{SEED_COMMIT}:{path}>"
@@ -91,6 +101,24 @@ def _load_seed_class(path: str, class_name: str):
     except Exception:
         del sys.modules[module_name]
         return None
+    return module
+
+
+def _load_seed_class(path: str, class_name: str):
+    """The seed-commit class, running against seed support modules."""
+    module = _exec_seed_module(path, f"_seed_{class_name.lower()}")
+    if module is None:
+        return None
+    for support_path, names in SEED_SUPPORT:
+        if not any(hasattr(module, name) for name in names):
+            continue
+        stem = Path(support_path).stem
+        support = _exec_seed_module(support_path, f"_seed_support_{stem}")
+        if support is None:
+            return None
+        for name in names:
+            if hasattr(module, name):
+                setattr(module, name, getattr(support, name))
     return getattr(module, class_name)
 
 

@@ -14,7 +14,7 @@ Subcommands::
     repro-histogram sliding-window
     repro-histogram wavelet
     repro-histogram recover --dir checkpoints/
-    repro-histogram serve --port 7607 --checkpoint-dir state/ --workers 2
+    repro-histogram serve --port 7607 --checkpoint-dir state/ --workers 3
 
 The ``figN`` subcommands regenerate the series behind the corresponding
 figure in the paper; ``--paper`` switches from the quick interactive sizes
@@ -177,7 +177,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=0,
-        help="ingest worker threads (0 = apply batches inline)",
+        help="cluster worker processes (0 = single-process server; N >= 1 "
+        "boots a consistent-hash sharded router fronting N engine "
+        "processes, see docs/CLUSTER.md)",
+    )
+    serve.add_argument(
+        "--ingest-workers", type=int, default=0,
+        help="ingest worker threads inside a single-process engine "
+        "(0 = apply batches inline; ignored in cluster mode, whose "
+        "workers always apply inline for ack-means-durable)",
     )
     serve.add_argument(
         "--metrics", action="store_true",
@@ -391,13 +399,15 @@ def _cmd_recover(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers:
+        return _cmd_serve_cluster(args)
     from repro.service import StreamEngine, StreamServer
 
     engine = StreamEngine(
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         max_pending=args.max_pending,
-        workers=args.workers,
+        workers=args.ingest_workers,
         metrics=args.metrics,
     )
     from repro.service import wire
@@ -426,6 +436,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.run()
     finally:
         engine.close()
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``serve --workers N``: a sharded multi-process cluster front."""
+    import signal
+    import tempfile
+
+    from repro.service import ClusterRouter, wire
+
+    cluster_dir = args.checkpoint_dir or tempfile.mkdtemp(
+        prefix="repro-cluster-"
+    )
+    protocols = (wire.PROTO_JSON,) if args.no_binary else wire.ALL_PROTOCOLS
+    router = ClusterRouter(
+        cluster_dir,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        checkpoint_every=args.checkpoint_every,
+        protocols=protocols,
+    )
+    # SIGTERM must tear down the worker processes too, not orphan them.
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    router.start()
+    try:
+        print(
+            f"cluster state in {cluster_dir}; "
+            f"workers: {', '.join(router.workers())}"
+        )
+        print(f"listening on {args.host}:{router.port}", flush=True)
+        router.server._thread.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.stop()
     return 0
 
 

@@ -1,0 +1,48 @@
+"""Load-generation harness with ledger-verified correctness.
+
+Drives a live service endpoint (single server or cluster router) with
+hundreds of concurrent mixed append/query clients over both wire
+transports, records p50/p99 latencies, and verifies the final served
+histograms bit-for-bit against the serial ``summarize()`` oracle --
+including across worker kills, via per-batch ledgers that admit exactly
+the consistent interpretations of an ambiguous failure.
+
+``benchmarks/bench_load.py`` is the CLI front (the ``make load-slo`` /
+CI gate); see ``docs/CLUSTER.md``.
+"""
+
+from repro.loadgen.harness import (
+    ACKED,
+    AMBIGUOUS,
+    BatchRecord,
+    ClientResult,
+    LoadGenerator,
+    LoadReport,
+    LoadVerificationError,
+    ledger_candidates,
+    stream_values,
+    verify_report,
+    verify_stream,
+)
+from repro.loadgen.latency import (
+    LatencySummary,
+    percentile,
+    summarize_latencies,
+)
+
+__all__ = [
+    "ACKED",
+    "AMBIGUOUS",
+    "BatchRecord",
+    "ClientResult",
+    "LatencySummary",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadVerificationError",
+    "ledger_candidates",
+    "percentile",
+    "stream_values",
+    "summarize_latencies",
+    "verify_report",
+    "verify_stream",
+]

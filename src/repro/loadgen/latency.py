@@ -1,0 +1,66 @@
+"""Latency accounting for the load harness: percentiles over raw samples.
+
+The harness records one wall-clock sample per completed operation and
+summarizes them here with nearest-rank percentiles -- no buckets, no
+interpolation, so a p99 over 10k samples is the actual 99th-percentile
+request, not a histogram artifact.  (The irony of approximating our own
+latency histograms while serving exact-error histograms would be too
+much.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    rank = max(1, int(round(q / 100.0 * len(sorted_samples) + 0.5)))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p99 (and friends) of one operation class, in milliseconds."""
+
+    count: int
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    total_seconds: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain data for the JSON report."""
+        return {
+            "count": self.count,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "total_seconds": self.total_seconds,
+        }
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Collapse raw per-operation seconds into a :class:`LatencySummary`."""
+    if not samples:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(samples)
+    total = sum(ordered)
+    return LatencySummary(
+        count=len(ordered),
+        p50_ms=percentile(ordered, 50.0) * 1e3,
+        p90_ms=percentile(ordered, 90.0) * 1e3,
+        p99_ms=percentile(ordered, 99.0) * 1e3,
+        mean_ms=total / len(ordered) * 1e3,
+        max_ms=ordered[-1] * 1e3,
+        total_seconds=total,
+    )

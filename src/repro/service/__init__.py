@@ -24,6 +24,7 @@ from repro.service.client import (
     ServiceError,
     Transport,
 )
+from repro.service.cluster import ClusterRouter, HashRing
 from repro.service.engine import StreamEngine
 from repro.service.server import StreamServer
 from repro.service.session import Session, StreamHandle
@@ -39,6 +40,8 @@ __all__ = [
     "AppendResult",
     "BinaryTransport",
     "CheckpointResult",
+    "ClusterRouter",
+    "HashRing",
     "JsonTransport",
     "QueryResult",
     "ServerInfo",

@@ -1,0 +1,38 @@
+"""Sharded multi-process service: consistent-hash router + engine workers.
+
+The horizontal scale-out layer (``docs/CLUSTER.md``)::
+
+    from repro.service.cluster import ClusterRouter
+
+    with ClusterRouter("state/", workers=3) as router:
+        # router.port serves the same wire protocol as a single server
+        with ServiceClient(port=router.port) as client:
+            client.append("sku-42", prices, method="min-merge", buckets=32)
+
+* :class:`HashRing` -- stable ``stream -> worker`` placement with
+  minimal movement on topology change.
+* :mod:`~repro.service.cluster.worker` -- the shard process: a full
+  ``StreamEngine`` + ``StreamServer`` over the cluster's shared
+  checkpoint root, recovering only the streams the ring assigns it.
+* :class:`ClusterRouter` -- spawns and supervises the workers, fronts
+  them behind one listener, adopts a dead worker's streams onto
+  survivors (zero acknowledged appends lost), and hands streams off
+  live between workers.
+
+The mergeable-summary guarantees of the paper's MIN-MERGE family are
+what make this safe: a stream's summary is fully described by its
+checkpoint state, so any node can adopt it and continue bit-identically.
+"""
+
+from repro.service.cluster.ring import DEFAULT_REPLICAS, HashRing, stable_hash
+from repro.service.cluster.router import ClusterRouter
+from repro.service.cluster.worker import build_worker, tenants_dir
+
+__all__ = [
+    "ClusterRouter",
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "build_worker",
+    "stable_hash",
+    "tenants_dir",
+]

@@ -1,0 +1,109 @@
+"""Consistent-hash ring: stable `(tenant, stream) -> worker` placement.
+
+The cluster router (``docs/CLUSTER.md``) places every stream on exactly
+one worker by hashing the stream key onto a ring of virtual nodes.  The
+two properties the sharded service is built on:
+
+* **No split** -- a key maps to exactly one node, deterministically, in
+  every process that builds the same ring (the hash is keyed on the
+  bytes of the name, never on Python's randomized ``hash()``), so the
+  router and every worker agree on ownership without coordination.
+* **Minimal movement** -- removing a node only reassigns the keys that
+  lived on it (they move to their successors on the ring); the keys of
+  surviving nodes do not move.  Adding a node steals ~``1/N`` of the
+  keyspace.  This is what makes worker death (adoption) and rebalance
+  cheap: only the dead or moved node's streams change owner.
+
+The ring is immutable: :meth:`HashRing.without` / :meth:`HashRing.extend`
+return new rings, so a router can swap its topology atomically under one
+lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+#: Virtual nodes per worker.  More replicas smooth the keyspace split
+#: (the max/mean load ratio shrinks like 1/sqrt(replicas)) at a small
+#: memory and build-time cost.
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(key: str) -> int:
+    """64-bit position of ``key`` on the ring.
+
+    blake2b keyed on the raw bytes: identical across processes, Python
+    versions, and ``PYTHONHASHSEED`` -- the property ``hash()`` lacks.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named nodes."""
+
+    __slots__ = ("nodes", "replicas", "_points", "_owners")
+
+    def __init__(
+        self, nodes: Iterable[str], *, replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        names = tuple(dict.fromkeys(str(n) for n in nodes))
+        if not names:
+            raise InvalidParameterError("a hash ring needs at least one node")
+        if replicas < 1:
+            raise InvalidParameterError(
+                f"replicas must be >= 1, got {replicas}"
+            )
+        self.nodes: Tuple[str, ...] = names
+        self.replicas = replicas
+        points = []
+        for name in names:
+            for i in range(replicas):
+                points.append((stable_hash(f"{name}#{i}"), name))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first virtual node clockwise)."""
+        idx = bisect.bisect_right(self._points, stable_hash(key))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def without(self, node: str) -> "HashRing":
+        """A new ring with ``node`` removed (its keys move to successors)."""
+        remaining = [n for n in self.nodes if n != node]
+        if len(remaining) == len(self.nodes):
+            raise InvalidParameterError(
+                f"node {node!r} is not on the ring ({self.nodes})"
+            )
+        return HashRing(remaining, replicas=self.replicas)
+
+    def extend(self, node: str) -> "HashRing":
+        """A new ring with ``node`` added (steals ~1/N of the keyspace)."""
+        if node in self.nodes:
+            raise InvalidParameterError(
+                f"node {node!r} is already on the ring ({self.nodes})"
+            )
+        return HashRing((*self.nodes, node), replicas=self.replicas)
+
+    def spread(self, keys: Sequence[str]) -> dict:
+        """``{node: key_count}`` for a sample of keys (balance checks)."""
+        out = {name: 0 for name in self.nodes}
+        for key in keys:
+            out[self.node_for(key)] += 1
+        return out
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing({list(self.nodes)}, replicas={self.replicas})"

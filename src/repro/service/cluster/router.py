@@ -1,0 +1,628 @@
+"""Cluster router: one front listener, N engine-worker processes.
+
+:class:`ClusterRouter` is the scale-out front of the service layer
+(``docs/CLUSTER.md``).  It spawns ``workers`` single-shard service
+processes (:mod:`repro.service.cluster.worker`), places every stream on
+exactly one of them with a consistent-hash ring
+(:class:`~repro.service.cluster.ring.HashRing`), and serves the same
+JSON/binary wire protocol clients already speak -- a client cannot tell
+a router from a single-process server.
+
+The router reuses :class:`~repro.service.StreamServer` unchanged: its
+"engine" is a :class:`_ProxyEngine` that implements the engine surface
+by forwarding each operation to the owning worker over pooled
+:class:`~repro.service.ServiceClient` connections (binary-negotiated, so
+zero-copy append frames stay zero-copy end to end).
+
+**Worker death and adoption.**  Every stream is durable: workers share
+one checkpoint root (``<cluster-dir>/tenants``) and acknowledge an
+append only after it is journaled and fsynced.  When a backend call
+fails and the worker process is confirmed dead, the router removes the
+node from the ring (surviving keys do not move -- the consistent-hash
+property), then tells each orphaned stream's new owner to ``adopt`` it:
+the survivor recovers snapshot + journal tail from the shared directory,
+bit-identical to the uninterrupted run.  Acknowledged appends are never
+lost; the one batch that was in flight on the dying connection is
+reported ``unavailable`` to its client, which may observe it as either
+fully applied or fully absent (batch atomicity), never torn.
+
+**Live handoff.**  :meth:`handoff` moves one stream between live
+workers: new requests for the stream gate on a router-side lock,
+in-flight appends drain FIFO on the donor (``release`` = drain +
+snapshot + close), the target adopts from shared disk, and an override
+pins the stream to its new home until the ring changes again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence
+
+from repro.core.histogram import Histogram
+from repro.exceptions import InvalidParameterError
+from repro.service import wire
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.service.cluster.worker import TENANTS_DIR, port_file, tenants_dir
+from repro.service.server import StreamServer
+
+_MANIFEST = "stream.json"
+
+#: Exceptions that mean "the connection to the worker broke", as opposed
+#: to a well-formed error response (ServiceError) from a live worker.
+_LINK_ERRORS = (ConnectionError, OSError, wire.WireError)
+
+
+class _WorkerLink:
+    """Router-side view of one worker: process, endpoint, connection pool."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        process: Optional[subprocess.Popen],
+        *,
+        pool_size: int = 4,
+        timeout: float = 30.0,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.process = process
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.dead = False
+        self._pool: queue.SimpleQueue = queue.SimpleQueue()
+
+    @contextmanager
+    def lease(self):
+        """Borrow a pooled connection (created on demand, returned clean).
+
+        A connection that saw any exception is closed rather than
+        pooled: after a transport error its stream position is unknown.
+        """
+        try:
+            client = self._pool.get_nowait()
+        except queue.Empty:
+            client = ServiceClient(self.host, self.port, timeout=self.timeout)
+        clean = False
+        try:
+            yield client
+            clean = True
+        finally:
+            if clean and not self.dead and self._pool.qsize() < self.pool_size:
+                self._pool.put(client)
+            else:
+                client.close()
+
+    def call(self, payload: dict) -> dict:
+        """One raw request/response round trip on a pooled connection."""
+        with self.lease() as client:
+            return client.transport.call(payload)
+
+    def close_pool(self) -> None:
+        while True:
+            try:
+                self._pool.get_nowait().close()
+            except queue.Empty:
+                return
+            except _LINK_ERRORS:  # pragma: no cover - close is best-effort
+                pass
+
+    def alive(self) -> bool:
+        return self.process is None or self.process.poll() is None
+
+
+class ClusterRouter:
+    """Spawn, front, and supervise a sharded service cluster.
+
+    Parameters
+    ----------
+    cluster_dir:
+        Shared state root.  ``<cluster_dir>/tenants`` holds every
+        stream's checkpoint store (all workers write their own streams
+        there; adoption reads a dead worker's); ``<cluster_dir>/workers``
+        holds endpoint files and per-worker logs.
+    workers:
+        Worker process count (>= 1).  Restarting a router over an
+        existing ``cluster_dir`` with the same worker names recovers
+        every manifested stream.
+    checkpoint_every:
+        Forwarded to each worker engine (periodic snapshots; the journal
+        makes recovery exact regardless).
+    executor_workers:
+        Front-side thread pool: the cap on concurrently in-flight
+        backend requests (default 32).
+    pool_size:
+        Pooled backend connections kept per worker (more are created
+        under burst and discarded back down to this size).
+    """
+
+    def __init__(
+        self,
+        cluster_dir,
+        *,
+        workers: int = 3,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_every: Optional[int] = None,
+        replicas: int = DEFAULT_REPLICAS,
+        protocols: Sequence[int] = wire.ALL_PROTOCOLS,
+        executor_workers: int = 32,
+        pool_size: int = 4,
+        worker_timeout: float = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.cluster_dir = os.fspath(cluster_dir)
+        self.worker_count = workers
+        self.host = host
+        self._requested_port = port
+        self.checkpoint_every = checkpoint_every
+        self.replicas = replicas
+        self.protocols = protocols
+        self.executor_workers = executor_workers
+        self.pool_size = pool_size
+        self.worker_timeout = worker_timeout
+        self.server: Optional[StreamServer] = None
+        self.deaths = 0
+        self.adoptions: Dict[str, str] = {}
+        self.handoffs = 0
+        self._workers: Dict[str, _WorkerLink] = {}
+        self._ring: Optional[HashRing] = None
+        self._overrides: Dict[str, str] = {}
+        self._topology_lock = threading.RLock()
+        self._gates: Dict[str, threading.Lock] = {}
+        self._gates_lock = threading.Lock()
+        self._logs: list = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The front listener's bound port (after :meth:`start`)."""
+        if self.server is None:
+            raise InvalidParameterError("router is not started")
+        return self.server.port
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> "ClusterRouter":
+        """Spawn the workers, wait for their endpoints, bind the front."""
+        names = [f"w{i}" for i in range(self.worker_count)]
+        os.makedirs(tenants_dir(self.cluster_dir), exist_ok=True)
+        workers_dir = os.path.join(self.cluster_dir, "workers")
+        os.makedirs(workers_dir, exist_ok=True)
+        for name in names:
+            try:
+                os.unlink(port_file(self.cluster_dir, name))
+            except FileNotFoundError:
+                pass
+        processes = {name: self._spawn(name, names) for name in names}
+        try:
+            for name in names:
+                port = self._await_endpoint(name, processes[name])
+                self._workers[name] = _WorkerLink(
+                    name,
+                    self.host,
+                    port,
+                    processes[name],
+                    pool_size=self.pool_size,
+                    timeout=self.worker_timeout,
+                )
+        except BaseException:
+            for process in processes.values():
+                process.kill()
+            raise
+        self._ring = HashRing(names, replicas=self.replicas)
+        self.server = StreamServer(
+            _ProxyEngine(self),
+            host=self.host,
+            port=self._requested_port,
+            protocols=self.protocols,
+            executor_workers=self.executor_workers,
+        )
+        self.server.start_in_background()
+        return self
+
+    def stop(self) -> None:
+        """Stop the front, then terminate the workers (SIGTERM, then kill)."""
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        for link in self._workers.values():
+            link.close_pool()
+            process = link.process
+            if process is not None and process.poll() is None:
+                process.terminate()
+        for link in self._workers.values():
+            process = link.process
+            if process is not None:
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    process.kill()
+                    process.wait(timeout=5.0)
+        for log in self._logs:
+            log.close()
+        self._logs.clear()
+
+    def _spawn(self, name: str, ring_names: Sequence[str]) -> subprocess.Popen:
+        import repro
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.service.cluster.worker",
+            "--cluster-dir",
+            self.cluster_dir,
+            "--name",
+            name,
+            "--ring",
+            ",".join(ring_names),
+            "--host",
+            self.host,
+            "--replicas",
+            str(self.replicas),
+        ]
+        if self.checkpoint_every is not None:
+            cmd += ["--checkpoint-every", str(self.checkpoint_every)]
+        log = open(
+            os.path.join(self.cluster_dir, "workers", f"{name}.log"), "ab"
+        )
+        self._logs.append(log)
+        return subprocess.Popen(cmd, env=env, stdout=log, stderr=log)
+
+    def _await_endpoint(self, name: str, process: subprocess.Popen) -> int:
+        path = port_file(self.cluster_dir, name)
+        deadline = time.monotonic() + self.worker_timeout
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"worker {name} exited with code {process.returncode} "
+                    f"before publishing its port (see "
+                    f"{self.cluster_dir}/workers/{name}.log)"
+                )
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+                if record.get("pid") == process.pid:
+                    return int(record["port"])
+            except (FileNotFoundError, ValueError):
+                pass
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"worker {name} did not publish a port within "
+            f"{self.worker_timeout:g}s"
+        )
+
+    # -- topology ------------------------------------------------------------
+
+    def workers(self) -> tuple:
+        """Names of the live workers (sorted)."""
+        with self._topology_lock:
+            return tuple(sorted(self._ring.nodes)) if self._ring else ()
+
+    def owner_of(self, stream_id: str) -> str:
+        """The worker currently responsible for a stream key."""
+        with self._topology_lock:
+            override = self._overrides.get(stream_id)
+            if override is not None:
+                return override
+            return self._ring.node_for(stream_id)
+
+    def _link_for(self, stream_id: str) -> _WorkerLink:
+        with self._topology_lock:
+            return self._workers[self.owner_of(stream_id)]
+
+    def _live_links(self) -> list:
+        with self._topology_lock:
+            return [
+                self._workers[name] for name in self._ring.nodes
+            ]
+
+    def kill_worker(self, name: str) -> None:
+        """SIGKILL one worker process (the chaos hook for tests/benchmarks).
+
+        Detection and adoption happen on the next request that touches
+        the dead worker -- exactly as a real crash would play out.
+        """
+        with self._topology_lock:
+            link = self._workers[name]
+        if link.process is None:
+            raise InvalidParameterError(f"worker {name} has no process")
+        link.process.kill()
+        link.process.wait(timeout=10.0)
+
+    def _note_failure(self, link: _WorkerLink) -> bool:
+        """Classify a backend link failure; adopt if the worker is dead.
+
+        Returns ``True`` when the worker is (now) confirmed dead and its
+        streams have been adopted -- the caller may re-route and retry
+        idempotent operations.  ``False`` means the process still lives
+        (a transient connection problem): nothing is reassigned.
+        """
+        with self._topology_lock:
+            if link.dead:
+                return True
+            process = link.process
+            if process is not None and process.poll() is None:
+                try:
+                    # A SIGKILL'd process needs a beat to be reapable;
+                    # distinguish "dying" from "alive but unreachable".
+                    process.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    return False
+            self._adopt_from(link)
+            return True
+
+    def _adopt_from(self, dead: _WorkerLink) -> None:
+        """Reassign every stream of a dead worker to the survivors."""
+        dead.dead = True
+        dead.close_pool()
+        if len(self._ring) <= 1:
+            raise ServiceError(
+                "unavailable",
+                f"worker {dead.name} died and no workers remain",
+            )
+        orphans = [
+            sid
+            for sid in self._manifested_streams()
+            if self.owner_of(sid) == dead.name
+        ]
+        self._ring = self._ring.without(dead.name)
+        for sid, target in list(self._overrides.items()):
+            if target == dead.name:
+                del self._overrides[sid]
+        self.deaths += 1
+        for sid in orphans:
+            new_owner = self.owner_of(sid)
+            self._workers[new_owner].call({"op": "adopt", "stream": sid})
+            self.adoptions[sid] = new_owner
+
+    def _manifested_streams(self) -> list:
+        """Every stream with a manifest under the shared tenants root."""
+        root = os.path.join(self.cluster_dir, TENANTS_DIR)
+        out = []
+        if not os.path.isdir(root):
+            return out
+        for name in sorted(os.listdir(root)):
+            manifest = os.path.join(root, name, _MANIFEST)
+            if not os.path.isfile(manifest):
+                continue
+            with open(manifest, "r", encoding="utf-8") as handle:
+                out.append(json.load(handle)["stream_id"])
+        return out
+
+    # -- handoff -------------------------------------------------------------
+
+    @contextmanager
+    def _gate(self, stream_id: str):
+        """Per-stream mutual exclusion between requests and handoff."""
+        with self._gates_lock:
+            lock = self._gates.get(stream_id)
+            if lock is None:
+                lock = self._gates[stream_id] = threading.Lock()
+        with lock:
+            yield
+
+    def handoff(self, stream_id: str, target: str) -> str:
+        """Move one live stream to ``target`` without losing a value.
+
+        New requests for the stream block on its gate; the donor drains
+        its in-flight appends FIFO, snapshots, and releases; the target
+        adopts from the shared directory; an override pins the stream.
+        Returns the previous owner's name.
+        """
+        with self._gate(stream_id):
+            with self._topology_lock:
+                if target not in self._ring.nodes:
+                    raise InvalidParameterError(
+                        f"handoff target {target!r} is not a live worker "
+                        f"({self._ring.nodes})"
+                    )
+                source = self.owner_of(stream_id)
+                if source == target:
+                    return source
+                source_link = self._workers[source]
+                target_link = self._workers[target]
+            source_link.call({"op": "release", "stream": stream_id})
+            target_link.call({"op": "adopt", "stream": stream_id})
+            with self._topology_lock:
+                self._overrides[stream_id] = target
+                self.handoffs += 1
+            return source
+
+    # -- request routing (called from the front's executor threads) ----------
+
+    def append(self, stream_id: str, values, config: dict) -> int:
+        """Forward one append to the owner; never auto-retried.
+
+        A broken link mid-append is ambiguous (the batch may or may not
+        have been journaled before the crash), so the router triggers
+        adoption and surfaces ``unavailable`` instead of guessing --
+        retrying could double-apply.  The client decides; the batch is
+        atomic either way.
+        """
+        with self._gate(stream_id):
+            link = self._link_for(stream_id)
+            try:
+                with link.lease() as client:
+                    return client.append(stream_id, values, **config).accepted
+            except _LINK_ERRORS as exc:
+                self._note_failure(link)
+                raise ServiceError(
+                    "unavailable",
+                    f"worker {link.name} failed mid-append on stream "
+                    f"{stream_id!r} ({type(exc).__name__}: {exc}); the "
+                    "batch is either fully applied or fully absent; the "
+                    "stream has a new owner -- continue appending",
+                ) from exc
+
+    def call_stream(self, stream_id: str, payload: dict, *, gate: bool = True):
+        """Route an idempotent per-stream op, retrying across adoption."""
+        if gate:
+            with self._gate(stream_id):
+                return self._call_retry(stream_id, payload)
+        return self._call_retry(stream_id, payload)
+
+    def _call_retry(self, stream_id: str, payload: dict) -> dict:
+        last: Optional[BaseException] = None
+        for _ in range(self.worker_count + 1):
+            link = self._link_for(stream_id)
+            try:
+                return link.call(payload)
+            except _LINK_ERRORS as exc:
+                last = exc
+                if not self._note_failure(link):
+                    break
+        raise ServiceError(
+            "unavailable",
+            f"no worker could serve {payload.get('op')!r} for stream "
+            f"{stream_id!r} ({type(last).__name__}: {last})",
+        ) from last
+
+    def fan_out(self, payload: dict) -> Dict[str, dict]:
+        """Run one op on every live worker; ``{worker: response}``."""
+        out = {}
+        for link in self._live_links():
+            try:
+                out[link.name] = link.call(payload)
+            except _LINK_ERRORS as exc:
+                if not self._note_failure(link):
+                    raise ServiceError(
+                        "unavailable",
+                        f"worker {link.name} unreachable during "
+                        f"{payload.get('op')!r} ({exc})",
+                    ) from exc
+        return out
+
+
+class _ProxyHandle:
+    """The stream-handle shape :class:`StreamServer` expects, proxied."""
+
+    __slots__ = ("_router", "stream_id", "_config")
+
+    def __init__(self, router: ClusterRouter, stream_id: str, config: dict):
+        self._router = router
+        self.stream_id = stream_id
+        self._config = config
+
+    def append(self, values) -> int:
+        return self._router.append(self.stream_id, values, self._config)
+
+
+class _ProxyEngine:
+    """Implements the engine surface of :class:`StreamServer` by
+    forwarding every operation to the owning worker.
+
+    Because the front server and the workers speak the same protocol,
+    histogram payloads pass through byte-identically: what a client of
+    the router decodes is exactly what the owning worker served.
+    """
+
+    def __init__(self, router: ClusterRouter) -> None:
+        self._router = router
+
+    # -- stream access (server._stream_for) ----------------------------------
+
+    def streams(self) -> tuple:
+        merged = set()
+        for response in self._router.fan_out({"op": "streams"}).values():
+            merged.update(response["streams"])
+        return tuple(sorted(merged))
+
+    def handle(self, stream_id: str) -> _ProxyHandle:
+        return _ProxyHandle(self._router, stream_id, {})
+
+    def stream(self, stream_id: str, **config) -> _ProxyHandle:
+        return _ProxyHandle(
+            self._router,
+            stream_id,
+            {k: v for k, v in config.items() if v is not None},
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def histogram(
+        self, stream_id: str, *, requested_buckets: Optional[int] = None
+    ) -> Histogram:
+        response = self._router.call_stream(
+            stream_id, {"op": "query", "stream": stream_id}
+        )
+        return Histogram.from_dict(response["histogram"])
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        self._router.fan_out({"op": "drain"})
+        return True
+
+    def stats(self, stream_id: Optional[str] = None) -> dict:
+        router = self._router
+        if stream_id is not None:
+            response = router.call_stream(
+                stream_id, {"op": "stats", "stream": stream_id}, gate=False
+            )
+            stats = response["stats"]
+            stats["worker"] = router.owner_of(stream_id)
+            return stats
+        merged: dict = {"streams": {}, "workers": {}}
+        totals = (
+            "items_seen",
+            "pending_items",
+            "appends",
+            "rejected",
+            "queries",
+            "checkpoints",
+            "errors",
+        )
+        for key in totals:
+            merged[key] = 0
+        for name, response in sorted(router.fan_out({"op": "stats"}).items()):
+            stats = response["stats"]
+            for sid, row in stats.get("streams", {}).items():
+                row["worker"] = name
+                merged["streams"][sid] = row
+            merged["workers"][name] = {
+                key: stats.get(key, 0) for key in totals
+            }
+            for key in totals:
+                merged[key] += stats.get(key, 0)
+        merged["stream_count"] = len(merged["streams"])
+        merged["cluster"] = {
+            "workers": list(router.workers()),
+            "deaths": router.deaths,
+            "adoptions": dict(router.adoptions),
+            "handoffs": router.handoffs,
+            "overrides": dict(router._overrides),
+        }
+        merged["durable"] = True
+        return merged
+
+    def checkpoint(self, stream_id: Optional[str] = None) -> dict:
+        router = self._router
+        if stream_id is not None:
+            response = router.call_stream(
+                stream_id, {"op": "checkpoint", "stream": stream_id}
+            )
+            return response["generations"]
+        generations: dict = {}
+        for response in router.fan_out({"op": "checkpoint"}).values():
+            generations.update(response["generations"])
+        return generations

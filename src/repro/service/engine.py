@@ -180,6 +180,13 @@ class StreamEngine:
         Test seam: called as ``apply_hook(stream_id, n_items)`` just
         before each batch applies (lets tests stall the apply path to
         exercise backpressure and isolation deterministically).
+    owns:
+        Optional ``stream_id -> bool`` predicate limiting startup
+        recovery to the streams this engine is responsible for.  Cluster
+        workers share one ``checkpoint_dir`` (``docs/CLUSTER.md``) and
+        pass their hash-ring membership test here, so each manifested
+        stream is recovered by exactly one worker; streams outside the
+        predicate stay on disk for :meth:`adopt`.
     """
 
     def __init__(
@@ -194,6 +201,7 @@ class StreamEngine:
         metrics=None,
         fault_plan=None,
         apply_hook=None,
+        owns=None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise InvalidParameterError(
@@ -214,6 +222,7 @@ class StreamEngine:
         self.max_pending = max_pending
         self.fault_plan = fault_plan
         self.apply_hook = apply_hook
+        self.owns = owns
         if metrics is True:
             metrics = MetricsRegistry()
         elif isinstance(metrics, SummaryMetrics):
@@ -413,7 +422,12 @@ class StreamEngine:
         return store
 
     def _recover_existing(self) -> None:
-        """Rebuild every manifested stream found under ``checkpoint_dir``."""
+        """Rebuild every manifested stream found under ``checkpoint_dir``.
+
+        With an ``owns`` predicate (cluster workers sharing one
+        directory) only the streams it admits are recovered; the rest
+        stay on disk for another engine -- or a later :meth:`adopt`.
+        """
         if not os.path.isdir(self.checkpoint_dir):
             return
         for name in sorted(os.listdir(self.checkpoint_dir)):
@@ -422,35 +436,105 @@ class StreamEngine:
                 continue
             with open(manifest_path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
-            stream_id = manifest["stream_id"]
-            metrics = None
-            if self.metrics_registry is not None:
-                metrics = resolve_metrics(
-                    self.metrics_registry, prefix=f"{stream_id}."
-                )
+            if self.owns is not None and not self.owns(manifest["stream_id"]):
+                continue
+            tenant = self._recover_tenant(manifest)
+            self._tenants[tenant.stream_id] = tenant
 
-            def factory(m=manifest):
-                return build_summary(
-                    m["method"],
-                    buckets=m["buckets"],
-                    epsilon=m["epsilon"],
-                    universe=m["universe"],
-                    window=m["window"],
-                )
-
-            tenant = _Tenant(
-                stream_id, manifest["method"], factory()
+    def _recover_tenant(self, manifest: dict) -> _Tenant:
+        """One manifested stream back to life: snapshot + journal tail."""
+        stream_id = manifest["stream_id"]
+        metrics = None
+        if self.metrics_registry is not None:
+            metrics = resolve_metrics(
+                self.metrics_registry, prefix=f"{stream_id}."
             )
-            tenant.store = self._open_store(tenant, write_manifest=False)
-            tenant.summary = tenant.store.recover(factory=factory)
-            tenant.buckets = manifest["buckets"]
-            tenant.epsilon = manifest["epsilon"]
-            tenant.universe = manifest["universe"]
-            tenant.window = manifest["window"]
-            tenant.recovered = True
-            if metrics is not None:
-                metrics.bind_gauges(tenant.summary)
+
+        def factory(m=manifest):
+            return build_summary(
+                m["method"],
+                buckets=m["buckets"],
+                epsilon=m["epsilon"],
+                universe=m["universe"],
+                window=m["window"],
+            )
+
+        tenant = _Tenant(stream_id, manifest["method"], factory())
+        tenant.store = self._open_store(tenant, write_manifest=False)
+        tenant.summary = tenant.store.recover(factory=factory)
+        tenant.buckets = manifest["buckets"]
+        tenant.epsilon = manifest["epsilon"]
+        tenant.universe = manifest["universe"]
+        tenant.window = manifest["window"]
+        tenant.recovered = True
+        if metrics is not None:
+            metrics.bind_gauges(tenant.summary)
+        return tenant
+
+    def adopt(self, stream_id: str):
+        """Adopt a manifested stream from ``checkpoint_dir`` right now.
+
+        The cluster adoption path (``docs/CLUSTER.md``): when a worker
+        dies, the router tells a survivor to ``adopt`` each orphaned
+        stream, and this engine recovers it from the shared directory
+        (newest good snapshot + journal tail -- bit-identical to the
+        uninterrupted run, because acknowledged appends are journaled
+        before they are acknowledged).  Idempotent: adopting a stream
+        this engine already owns returns the live handle.
+        """
+        from repro.service.session import StreamHandle
+
+        self._check_open()
+        if self.checkpoint_dir is None:
+            raise InvalidParameterError(
+                "adopt() needs a checkpoint_dir: adoption recovers the "
+                "stream from its on-disk manifest"
+            )
+        with self._registry_lock:
+            tenant = self._tenants.get(stream_id)
+            if tenant is not None:
+                return StreamHandle(self, tenant)
+            manifest_path = os.path.join(
+                self.checkpoint_dir, _tenant_dirname(stream_id), _MANIFEST
+            )
+            if not os.path.isfile(manifest_path):
+                raise InvalidParameterError(
+                    f"no manifest for stream {stream_id!r} under "
+                    f"{self.checkpoint_dir}"
+                )
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            tenant = self._recover_tenant(manifest)
             self._tenants[stream_id] = tenant
+        return StreamHandle(self, tenant)
+
+    def release(self, stream_id: str, *, checkpoint: bool = True) -> Optional[int]:
+        """Drop a stream from this engine (the handoff donor side).
+
+        Waits for the stream's queued batches to apply (FIFO drain),
+        optionally snapshots, closes its checkpoint store, and removes
+        the tenant -- after which another engine may :meth:`adopt` the
+        stream from the shared directory.  Returns the final snapshot
+        generation (``None`` when not checkpointing or not durable).
+
+        The caller is responsible for fencing new appends first (the
+        cluster router gates the stream during handoff); an append that
+        races the release either lands before it (drained, checkpointed)
+        or fails with *unknown stream* after it -- never silently drops.
+        """
+        tenant = self._tenant(stream_id)
+        with tenant.idle:
+            while tenant.pending_items or tenant.scheduled:
+                tenant.idle.wait()
+        with self._registry_lock:
+            self._tenants.pop(stream_id, None)
+        generation = None
+        with tenant.lock:
+            if tenant.store is not None:
+                if checkpoint:
+                    generation = tenant.store.save(tenant.summary)
+                tenant.store.close()
+        return generation
 
     def checkpoint(self, stream_id: Optional[str] = None) -> dict:
         """Snapshot one stream (or every durable stream) right now.

@@ -88,6 +88,13 @@ class StreamServer:
         The default offers both JSON lines (1) and binary frames (2);
         pass ``(1,)`` to pin every connection to JSON (the CLI's
         ``--no-binary``).
+    executor_workers:
+        Size of a dedicated thread pool for engine calls.  ``None`` (the
+        default) uses the loop's default executor -- right for a
+        single-process engine, whose per-stream locks serialize most
+        work anyway.  The cluster router sets this higher: its "engine"
+        calls are blocking round trips to backend workers, so the pool
+        size caps the router's concurrent in-flight backend requests.
     """
 
     def __init__(
@@ -97,10 +104,12 @@ class StreamServer:
         host: str = "127.0.0.1",
         port: int = 0,
         protocols: Sequence[int] = wire.ALL_PROTOCOLS,
+        executor_workers: Optional[int] = None,
     ) -> None:
         self.engine = engine
         self.host = host
         self.port = port
+        self.executor_workers = executor_workers
         self.protocols = tuple(int(p) for p in protocols)
         if wire.PROTO_JSON not in self.protocols:
             raise InvalidParameterError(
@@ -117,6 +126,17 @@ class StreamServer:
     async def start(self) -> None:
         """Bind and start accepting connections (on the running loop)."""
         self._loop = asyncio.get_running_loop()
+        if self.executor_workers is not None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            # asyncio.run() shuts the default executor down with the
+            # loop, so the pool's lifetime tracks the server's.
+            self._loop.set_default_executor(
+                ThreadPoolExecutor(
+                    max_workers=self.executor_workers,
+                    thread_name_prefix="repro-server-io",
+                )
+            )
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.host,
@@ -339,6 +359,8 @@ class StreamServer:
 
     async def _run_handler(self, handler, *args) -> tuple[bool, dict]:
         """Run an engine-touching handler on the executor; map errors."""
+        from repro.service.client import ServiceError
+
         loop = asyncio.get_running_loop()
         try:
             payload = await loop.run_in_executor(None, handler, *args)
@@ -346,6 +368,11 @@ class StreamServer:
             return False, {"error": "backpressure", "message": str(exc)}
         except EmptySummaryError as exc:
             return False, {"error": "empty", "message": str(exc)}
+        except ServiceError as exc:
+            # A proxied backend already classified this error (the
+            # cluster router fronts workers through ServiceClient);
+            # forward its code instead of flattening it to "internal".
+            return False, {"error": exc.code, "message": str(exc)}
         except (InvalidParameterError, KeyError, TypeError) as exc:
             return False, {
                 "error": "invalid",
@@ -426,6 +453,27 @@ class StreamServer:
 
     def _op_streams(self, request: dict) -> dict:
         return {"streams": list(self.engine.streams())}
+
+    def _op_drain(self, request: dict) -> dict:
+        """Barrier: every accepted batch applied before the response."""
+        self.engine.drain()
+        return {"drained": True}
+
+    def _op_adopt(self, request: dict) -> dict:
+        """Cluster-internal: recover a manifested stream from shared disk."""
+        handle = self.engine.adopt(str(request["stream"]))
+        return {
+            "stream": handle.stream_id,
+            "items_seen": handle.items_seen,
+        }
+
+    def _op_release(self, request: dict) -> dict:
+        """Cluster-internal: drain + snapshot + drop a stream (handoff)."""
+        generation = self.engine.release(
+            str(request["stream"]),
+            checkpoint=bool(request.get("checkpoint", True)),
+        )
+        return {"stream": str(request["stream"]), "generation": generation}
 
     def _op_ping(self, request: dict) -> dict:
         return {"pong": True}
