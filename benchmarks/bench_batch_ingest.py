@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -118,6 +119,14 @@ def run(items: int, min_speedup: float, json_path: Path | None) -> int:
         ok = (not gated) or row["speedup"] >= min_speedup
         if not ok:
             failures += 1
+            # Surface the failing numbers in the job log itself, so a CI
+            # gate failure is diagnosable without downloading artifacts.
+            print(
+                f"gate failure ({name}: speedup {row['speedup']:.2f}x "
+                f"< {min_speedup:g}x); offending result:",
+                file=sys.stderr,
+            )
+            print(json.dumps(row, indent=2, sort_keys=True), file=sys.stderr)
         print(
             f"{name:<24} scalar {row['scalar_items_per_sec'] / 1e3:9.1f}k/s   "
             f"batch {row['batch_items_per_sec'] / 1e6:7.2f}M/s   "

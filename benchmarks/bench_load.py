@@ -190,6 +190,18 @@ def run(args: argparse.Namespace) -> dict:
     if violations:
         for violation in violations:
             print(f"SLO VIOLATION: {violation}", file=sys.stderr)
+        # Surface the measured latencies behind the violations in the job
+        # log itself, so a CI gate failure is diagnosable without
+        # downloading the artifact.
+        print("offending report section:", file=sys.stderr)
+        print(
+            json.dumps(
+                {"load": report["load"], "slo": report["slo"]},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
     return report
 
 

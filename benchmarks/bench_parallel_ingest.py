@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -204,6 +205,16 @@ def run(quick: bool, min_speedup: float, json_path: Path | None) -> int:
             ok = (not gated) or row["speedup"] >= min_speedup
             if not ok:
                 failures += 1
+                print(
+                    f"gate failure ({method}/{workload}: speedup "
+                    f"{row['speedup']:.2f}x < {min_speedup:g}x); "
+                    "offending result:",
+                    file=sys.stderr,
+                )
+                print(
+                    json.dumps(row, indent=2, sort_keys=True),
+                    file=sys.stderr,
+                )
             print(
                 f"{method:<16} {workload:<9} n={row['items']:<9,} "
                 f"P={row['workers']:<2} arity={row['arity']:<2} "

@@ -1,0 +1,228 @@
+"""SoA kernel throughput: ``backend="soa"`` vs ``backend="object"``.
+
+The structure-of-arrays kernels (``repro.core.soa``) promise bit-identical
+MIN-MERGE maintenance with a several-times-faster per-item hot path: flat
+columns instead of Bucket objects, a lazy-deletion ``heapq`` instead of the
+addressable heap, and a zero-allocation tail-absorb fast path.  This file
+*guards* the bit-identity on randomized streams first, then times both
+backends on the same data:
+
+* ``scalar`` -- per-item ``insert()`` loops, the path the SoA kernel
+  exists to accelerate.  **Gated**: the acceptance target is a >= 5x
+  speedup at the paper's n = 1e6 (CI smoke runs gate at >= 2x on the
+  shorter stream, see ``make bench-smoke``).
+* ``batch`` -- one vectorized ``extend(ndarray)`` call per backend.
+  Reported, not gated: both backends share the numpy certificate math,
+  so the gap is modest by design.
+* ``pwl_scalar`` -- per-item PWL ingest at a small n.  Reported, not
+  gated: hull maintenance dominates and is shared between backends.
+
+Timings are best-of-N (default 3) after a warm-up pass, so one scheduler
+hiccup cannot fail the gate.  On failure the offending report section is
+printed as JSON so the CI log shows the numbers without downloading the
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_soa.py --smoke \
+        --json BENCH_SOA.json --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.min_merge import MinMergeHistogram
+from repro.core.pwl_min_merge import PwlMinMergeHistogram
+from repro.data import brownian
+
+BUCKETS = 32
+PWL_BUCKETS = 8
+
+FULL_ITEMS = 1_000_000
+SMOKE_ITEMS = 200_000
+PWL_ITEMS = 8_000
+
+
+def _make(backend: str):
+    return MinMergeHistogram(buckets=BUCKETS, backend=backend)
+
+
+def _make_pwl(backend: str):
+    return PwlMinMergeHistogram(buckets=PWL_BUCKETS, backend=backend)
+
+
+def _state(summary) -> tuple:
+    return (
+        summary.items_seen,
+        tuple(repr(b) for b in summary.buckets_snapshot()),
+        summary.error,
+    )
+
+
+def _equivalence_guard(seed: int = 0, items: int = 4_000) -> None:
+    """Fail loudly if the backends diverge; timings would be meaningless."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 15, items)
+    listed = data.tolist()
+
+    scalar_obj, scalar_soa = _make("object"), _make("soa")
+    for v in listed:
+        scalar_obj.insert(v)
+        scalar_soa.insert(v)
+    batch_obj, batch_soa = _make("object"), _make("soa")
+    batch_obj.extend(data)
+    batch_soa.extend(data)
+    states = {_state(s) for s in (scalar_obj, scalar_soa, batch_obj, batch_soa)}
+    if len(states) != 1:
+        raise AssertionError(
+            f"soa backend diverged from object backend on a randomized "
+            f"stream (seed {seed}); the kernels are supposed to be "
+            "bit-identical"
+        )
+
+    pwl_obj, pwl_soa = _make_pwl("object"), _make_pwl("soa")
+    for v in listed[:1_000]:
+        pwl_obj.insert(v)
+        pwl_soa.insert(v)
+    if _state(pwl_obj) != _state(pwl_soa):
+        raise AssertionError(
+            f"pwl soa backend diverged from object backend (seed {seed})"
+        )
+
+
+def _time_scalar(factory, backend: str, values: list) -> float:
+    summary = factory(backend)
+    insert = summary.insert
+    start = time.perf_counter()
+    for v in values:
+        insert(v)
+    elapsed = time.perf_counter() - start
+    assert summary.items_seen == len(values)
+    return elapsed
+
+
+def _time_batch(backend: str, arr: np.ndarray) -> float:
+    summary = _make(backend)
+    start = time.perf_counter()
+    summary.extend(arr)
+    elapsed = time.perf_counter() - start
+    assert summary.items_seen == len(arr)
+    return elapsed
+
+
+def _best_of(runs: int, fn, *args) -> float:
+    """Minimum of ``runs`` timings after one warm-up call."""
+    fn(*args)
+    return min(fn(*args) for _ in range(runs))
+
+
+def _section(items: int, object_s: float, soa_s: float, gated: bool) -> dict:
+    return {
+        "items": items,
+        "object_ns_per_item": object_s / items * 1e9,
+        "soa_ns_per_item": soa_s / items * 1e9,
+        "object_items_per_sec": items / object_s,
+        "soa_items_per_sec": items / soa_s,
+        "speedup": object_s / soa_s,
+        "gated": gated,
+    }
+
+
+def _print_row(name: str, row: dict, ok: bool) -> None:
+    print(
+        f"{name:<12} object {row['object_ns_per_item']:8.0f} ns/item   "
+        f"soa {row['soa_ns_per_item']:8.0f} ns/item   "
+        f"speedup {row['speedup']:6.2f}x   "
+        f"{'ok' if ok else 'FAIL'}{'' if row['gated'] else ' (ungated)'}"
+    )
+
+
+def _fail_section(name: str, section: dict) -> None:
+    print(f"gate failure in report section {name!r}:", file=sys.stderr)
+    print(
+        json.dumps({name: section}, indent=2, sort_keys=True), file=sys.stderr
+    )
+
+
+def run(
+    items: int, min_speedup: float, best_of: int, json_path: Path | None
+) -> int:
+    _equivalence_guard()
+    print(f"soa vs object kernel, brownian n={items} (best of {best_of})")
+    values = brownian(items)
+    arr = np.asarray(values)
+
+    report = {
+        "benchmark": "soa_kernel",
+        "items": items,
+        "min_speedup": min_speedup,
+        "best_of": best_of,
+    }
+    failures = 0
+
+    object_s = _best_of(best_of, _time_scalar, _make, "object", values)
+    soa_s = _best_of(best_of, _time_scalar, _make, "soa", values)
+    scalar = _section(items, object_s, soa_s, gated=True)
+    report["scalar"] = scalar
+    ok = scalar["speedup"] >= min_speedup
+    _print_row("scalar", scalar, ok)
+    if not ok:
+        failures += 1
+        _fail_section("scalar", scalar)
+
+    object_s = _best_of(best_of, _time_batch, "object", arr)
+    soa_s = _best_of(best_of, _time_batch, "soa", arr)
+    batch = _section(items, object_s, soa_s, gated=False)
+    report["batch"] = batch
+    _print_row("batch", batch, ok=True)
+
+    pwl_values = values[:PWL_ITEMS]
+    object_s = _best_of(best_of, _time_scalar, _make_pwl, "object", pwl_values)
+    soa_s = _best_of(best_of, _time_scalar, _make_pwl, "soa", pwl_values)
+    pwl = _section(len(pwl_values), object_s, soa_s, gated=False)
+    report["pwl_scalar"] = pwl
+    _print_row("pwl_scalar", pwl, ok=True)
+
+    if json_path is not None:
+        json_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {json_path}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"use the small CI stream (n={SMOKE_ITEMS}) instead of n={FULL_ITEMS}",
+    )
+    parser.add_argument(
+        "--items", type=int, default=None, help="override the stream length"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail if the gated scalar speedup is below this",
+    )
+    parser.add_argument(
+        "--best-of",
+        type=int,
+        default=3,
+        help="timed repetitions per backend (minimum wins)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write the report to this path"
+    )
+    args = parser.parse_args()
+    items = args.items or (SMOKE_ITEMS if args.smoke else FULL_ITEMS)
+    return run(items, args.min_speedup, args.best_of, args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -253,7 +253,11 @@ def main(argv=None) -> int:
     if args.min_codec_speedup and codec["speedup"] < args.min_codec_speedup:
         print(
             f"codec speedup {codec['speedup']:.2f}x below the "
-            f"{args.min_codec_speedup:g}x gate",
+            f"{args.min_codec_speedup:g}x gate; offending report section:",
+            file=sys.stderr,
+        )
+        print(
+            json.dumps({"codec": codec}, indent=2, sort_keys=True),
             file=sys.stderr,
         )
         return 1

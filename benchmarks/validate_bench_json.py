@@ -75,7 +75,37 @@ SPECS = {
             "wire.transports.binary.seconds",
         ],
     },
-    "BENCH_WIRE.json": {"required": ["items"]},
+    "BENCH_WIRE.json": {
+        "required": [
+            "codec.items",
+            "codec.chunk",
+            "codec.json.seconds",
+            "codec.json.values_per_second",
+            "codec.binary.seconds",
+            "codec.binary.values_per_second",
+            "codec.speedup",
+            "heap.before.seconds",
+            "heap.after.seconds",
+            "heap.speedup",
+            "hull.before.seconds",
+            "hull.after.seconds",
+            "hull.speedup",
+        ],
+    },
+    "BENCH_SOA.json": {
+        "required": [
+            "benchmark",
+            "items",
+            "min_speedup",
+            "best_of",
+            "scalar.object_ns_per_item",
+            "scalar.soa_ns_per_item",
+            "scalar.speedup",
+            "scalar.gated",
+            "batch.speedup",
+            "pwl_scalar.speedup",
+        ],
+    },
     "BENCH_PR.json": {"required": []},
     "BENCH_PARALLEL.json": {"required": []},
 }

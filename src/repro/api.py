@@ -94,6 +94,12 @@ _METHOD_SPECS = {
     "optimal-pwl": _MethodSpec(offline_pwl=True),
 }
 
+#: Methods whose summaries accept ``backend=`` ("object" | "soa"): the
+#: MIN-MERGE family, where the structure-of-arrays kernel
+#: (:mod:`repro.core.soa`) provides a bit-identical, several-times-faster
+#: maintenance loop.  See ``docs/PERF.md`` for how to choose.
+BACKEND_METHODS = ("min-merge", "pwl-min-merge")
+
 
 def build_summary(
     method: str,
@@ -103,6 +109,7 @@ def build_summary(
     universe: Optional[int] = None,
     window: Optional[int] = None,
     metrics=None,
+    backend: str = "object",
 ):
     """Construct a fresh streaming summary for a registry ``method``.
 
@@ -111,8 +118,14 @@ def build_summary(
     exact same summary object for a given configuration.  ``window``
     selects the sliding-window variant where one exists; offline methods
     (``"optimal"``, ``"optimal-pwl"``) have no streaming summary and
-    raise.
+    raise.  ``backend`` selects the maintenance kernel for the methods in
+    :data:`BACKEND_METHODS` and must stay ``"object"`` elsewhere.
     """
+    if backend != "object" and method not in BACKEND_METHODS:
+        raise InvalidParameterError(
+            f"method {method!r} does not support backend={backend!r}; "
+            f"backend= is supported for: {', '.join(BACKEND_METHODS)}"
+        )
     spec = _METHOD_SPECS.get(method)
     if spec is None or spec.summary_cls is None:
         raise InvalidParameterError(
@@ -144,6 +157,10 @@ def build_summary(
         return spec.summary_cls(
             buckets=buckets, epsilon=epsilon, universe=universe,
             metrics=metrics,
+        )
+    if method in BACKEND_METHODS:
+        return spec.summary_cls(
+            buckets=buckets, metrics=metrics, backend=backend
         )
     return spec.summary_cls(buckets=buckets, metrics=metrics)
 
@@ -242,7 +259,13 @@ def _build_optimal_pwl(values, buckets, epsilon):
     return optimal_pwl_histogram(values, buckets)
 
 
-def _oneshot(method: str, values, buckets: int, epsilon: float) -> Histogram:
+def _oneshot(
+    method: str,
+    values,
+    buckets: int,
+    epsilon: float,
+    backend: str = "object",
+) -> Histogram:
     """Run a streaming method through an ephemeral service session.
 
     The single code route behind both the registry builders and
@@ -253,7 +276,11 @@ def _oneshot(method: str, values, buckets: int, epsilon: float) -> Histogram:
     spec = _METHOD_SPECS[method]
     universe = _universe_for(values) if spec.needs_universe else None
     summary = build_summary(
-        method, buckets=buckets, epsilon=epsilon, universe=universe
+        method,
+        buckets=buckets,
+        epsilon=epsilon,
+        universe=universe,
+        backend=backend,
     )
     return _run_attached(method, summary, values, buckets)
 
@@ -345,6 +372,7 @@ def summarize(
     epsilon: float = 0.1,
     workers: Union[None, int, str] = None,
     window: Optional[int] = None,
+    backend: str = "object",
 ) -> Histogram:
     """Build a maximum-error histogram of ``values`` in one call.
 
@@ -393,6 +421,13 @@ def summarize(
         Methods without a windowed variant raise; ``window`` cannot be
         combined with ``workers`` (windowed ladder state is not
         mergeable).
+    backend:
+        Maintenance kernel for the MIN-MERGE family
+        (:data:`BACKEND_METHODS`): ``"object"`` (default) keeps the
+        reference per-bucket implementation, ``"soa"`` selects the
+        structure-of-arrays kernel -- bit-identical buckets, several
+        times faster per-item ingest (see ``docs/PERF.md``).  Composes
+        with ``workers=``; other methods raise for non-default values.
 
     Returns
     -------
@@ -409,13 +444,21 @@ def summarize(
         raise InvalidParameterError("cannot summarize an empty sequence")
     if window is not None and window < 1:
         raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if backend != "object" and (
+        not isinstance(method, str) or method not in BACKEND_METHODS
+    ):
+        label = method.__name__ if isinstance(method, type) else repr(method)
+        raise InvalidParameterError(
+            f"backend= is only supported for the MIN-MERGE family "
+            f"({', '.join(BACKEND_METHODS)}), not {label}"
+        )
     if workers is not None and workers != 1:
         if window is not None:
             raise InvalidParameterError(
                 "window= cannot be combined with workers=: sliding-window "
                 "ladder state is not mergeable across shards"
             )
-        hist = _summarize_workers(values, buckets, method, workers)
+        hist = _summarize_workers(values, buckets, method, workers, backend)
         return hist.with_meta(
             HistogramMeta(
                 method=method if isinstance(method, str) else method.__name__,
@@ -471,7 +514,13 @@ def summarize(
             f"unknown method {method!r}; known methods "
             f"(see repro.api.methods()):\n{_method_lines()}"
         )
-    hist = builder(values, buckets, epsilon)
+    if backend != "object":
+        # Backend-capable methods all route through _oneshot; calling it
+        # directly threads the kernel choice without widening the builder
+        # signature shared by every registry entry.
+        hist = _oneshot(method, values, buckets, epsilon, backend)
+    else:
+        hist = builder(values, buckets, epsilon)
     if hist.meta is not None:
         return hist
     return hist.with_meta(
@@ -488,7 +537,9 @@ def summarize(
     )
 
 
-def _summarize_workers(values, buckets: int, method, workers) -> Histogram:
+def _summarize_workers(
+    values, buckets: int, method, workers, backend: str = "object"
+) -> Histogram:
     """Dispatch ``summarize(..., workers=)`` to the parallel executor."""
     if not isinstance(method, str) or method not in PARALLEL_METHODS:
         label = method.__name__ if isinstance(method, type) else repr(method)
@@ -503,7 +554,9 @@ def _summarize_workers(values, buckets: int, method, workers) -> Histogram:
     # aggregation layer, which plain serial summarize() never needs.
     from repro.parallel import ParallelSummarizer
 
-    summarizer = ParallelSummarizer(method, buckets=buckets, workers=workers)
+    summarizer = ParallelSummarizer(
+        method, buckets=buckets, workers=workers, summary_backend=backend
+    )
     return summarizer.summarize(values).histogram()
 
 

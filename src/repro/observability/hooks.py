@@ -47,6 +47,8 @@ COUNTER_NAMES = (
     "flushes",
     "evictions",
     "failures_retried",
+    "query_cache_hits",
+    "query_cache_misses",
 )
 
 
@@ -75,6 +77,8 @@ class SummaryMetrics:
         "flushes",
         "evictions",
         "failures_retried",
+        "query_cache_hits",
+        "query_cache_misses",
         "insert_latency",
     )
 
@@ -95,6 +99,10 @@ class SummaryMetrics:
         self.flushes = registry.counter(prefix + "flushes")
         self.evictions = registry.counter(prefix + "evictions")
         self.failures_retried = registry.counter(prefix + "failures_retried")
+        self.query_cache_hits = registry.counter(prefix + "query_cache_hits")
+        self.query_cache_misses = registry.counter(
+            prefix + "query_cache_misses"
+        )
         self.insert_latency = registry.latency(
             prefix + "insert_latency", buckets=latency_buckets
         )
@@ -126,6 +134,14 @@ class SummaryMetrics:
     def on_failure(self, n: int = 1) -> None:
         """``n`` failed work attempts that were retried or rerouted."""
         self.failures_retried.value += n
+
+    def on_query_cache(self, hit: bool, n: int = 1) -> None:
+        """``n`` engine histogram queries served from (or filling) the
+        epoch-keyed query cache (see ``StreamEngine.histogram``)."""
+        if hit:
+            self.query_cache_hits.value += n
+        else:
+            self.query_cache_misses.value += n
 
     # -- aggregation across shards / children ------------------------------
 

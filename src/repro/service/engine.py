@@ -85,6 +85,7 @@ class _Tenant:
         "epsilon",
         "universe",
         "window",
+        "backend",
         "summary",
         "lock",
         "qlock",
@@ -102,6 +103,10 @@ class _Tenant:
         "checkpoints",
         "last_error",
         "attached",
+        "epoch",
+        "cached_epoch",
+        "cached_hist",
+        "cached_items",
     )
 
     def __init__(self, stream_id: str, method: str, summary) -> None:
@@ -111,6 +116,7 @@ class _Tenant:
         self.epsilon = getattr(summary, "epsilon", None)
         self.universe = getattr(summary, "universe", None)
         self.window = getattr(summary, "window", None)
+        self.backend = getattr(summary, "backend", "object")
         self.summary = summary
         # ``lock`` guards the summary + store (apply vs query); ``qlock``
         # guards the write queue bookkeeping and is never held across an
@@ -131,6 +137,15 @@ class _Tenant:
         self.checkpoints = 0
         self.last_error: Optional[str] = None
         self.attached = False
+        # Write epoch for query caching: bumped under ``lock`` on every
+        # applied batch, so ``(stream, epoch)`` names an exact summary
+        # state.  ``cached_epoch == -1`` means nothing cached; recovery,
+        # adoption, and handoff all build a fresh _Tenant, which is what
+        # invalidates the cache across ownership changes.
+        self.epoch = 0
+        self.cached_epoch = -1
+        self.cached_hist: Optional[Histogram] = None
+        self.cached_items = 0
 
     def manifest(self) -> dict:
         """The ``stream.json`` payload a future engine recovers from."""
@@ -141,6 +156,7 @@ class _Tenant:
             "epsilon": self.epsilon,
             "universe": self.universe,
             "window": self.window,
+            "backend": self.backend,
         }
 
 
@@ -296,13 +312,17 @@ class StreamEngine:
         epsilon: float = 0.1,
         universe: Optional[int] = None,
         window: Optional[int] = None,
+        backend: str = "object",
     ):
         """Create (or fetch) the named stream; returns a ``StreamHandle``.
 
         Creation is idempotent: calling again with the same id returns a
         handle on the existing stream, but a conflicting ``method`` (or
         ``window``) raises rather than silently serving different math
-        than the caller asked for.
+        than the caller asked for.  ``backend`` selects the maintenance
+        kernel for the MIN-MERGE family (``"object"`` | ``"soa"``, see
+        ``docs/PERF.md``); it changes no math, so it is not part of the
+        conflict check.
         """
         from repro.service.session import StreamHandle
 
@@ -318,6 +338,7 @@ class StreamEngine:
                         epsilon=epsilon,
                         universe=universe,
                         window=window,
+                        backend=backend,
                     )
                     self._tenants[stream_id] = tenant
                     return StreamHandle(self, tenant)
@@ -370,7 +391,15 @@ class StreamEngine:
         return tuple(sorted(self._tenants))
 
     def _create_tenant(
-        self, stream_id, *, method, buckets, epsilon, universe, window
+        self,
+        stream_id,
+        *,
+        method,
+        buckets,
+        epsilon,
+        universe,
+        window,
+        backend="object",
     ) -> _Tenant:
         self._check_open()
         if method not in streaming_methods():
@@ -391,6 +420,7 @@ class StreamEngine:
             universe=universe if universe is not None else DEFAULT_UNIVERSE,
             window=window,
             metrics=metrics,
+            backend=backend,
         )
         if metrics is not None:
             metrics.bind_gauges(summary)
@@ -457,6 +487,7 @@ class StreamEngine:
                 epsilon=m["epsilon"],
                 universe=m["universe"],
                 window=m["window"],
+                backend=m.get("backend", "object"),
             )
 
         tenant = _Tenant(stream_id, manifest["method"], factory())
@@ -466,6 +497,9 @@ class StreamEngine:
         tenant.epsilon = manifest["epsilon"]
         tenant.universe = manifest["universe"]
         tenant.window = manifest["window"]
+        # The restored checkpoint is authoritative for the kernel (old
+        # checkpoints predate the manifest field).
+        tenant.backend = getattr(tenant.summary, "backend", "object")
         tenant.recovered = True
         if metrics is not None:
             metrics.bind_gauges(tenant.summary)
@@ -662,6 +696,9 @@ class StreamEngine:
             else:
                 tenant.summary.extend(values)
             tenant.since_snapshot += len(values)
+            # Every applied batch starts a new write epoch; cached query
+            # results keyed on the old epoch become unreachable.
+            tenant.epoch += 1
         if (
             tenant.store is not None
             and self.checkpoint_every is not None
@@ -682,12 +719,34 @@ class StreamEngine:
         Runs under the stream's apply lock: the result always reflects a
         whole prefix of the accepted batches.  The returned histogram
         carries :class:`~repro.core.histogram.HistogramMeta`.
+
+        Repeated queries between writes are served from an epoch-keyed
+        cache: :meth:`_apply` bumps the stream's write epoch under the
+        same lock, so a cached ``(hist, items)`` pair is valid exactly
+        while the epoch stands still.  Histograms are immutable and
+        ``with_meta`` clones share segment storage, so serving the cached
+        object is safe.  Attached streams are never cached: their summary
+        object is owned by the caller, who may mutate it without going
+        through the engine's write path.
         """
         tenant = self._tenant(stream_id)
         with tenant.lock:
-            hist = tenant.summary.histogram()
-            items = tenant.summary.items_seen
+            if not tenant.attached and tenant.cached_epoch == tenant.epoch:
+                hist = tenant.cached_hist
+                items = tenant.cached_items
+                cache_hit = True
+            else:
+                hist = tenant.summary.histogram()
+                items = tenant.summary.items_seen
+                cache_hit = False
+                if not tenant.attached:
+                    tenant.cached_hist = hist
+                    tenant.cached_items = items
+                    tenant.cached_epoch = tenant.epoch
+            metrics = getattr(tenant.summary, "metrics", None)
         tenant.queries += 1
+        if metrics is not None:
+            metrics.on_query_cache(cache_hit)
         buckets = tenant.buckets if tenant.buckets is not None else len(hist)
         return hist.with_meta(
             HistogramMeta(
@@ -760,6 +819,7 @@ class StreamEngine:
             "epsilon": tenant.epsilon,
             "universe": tenant.universe,
             "window": tenant.window,
+            "backend": tenant.backend,
             "items_seen": items,
             "pending_items": pending,
             "memory_bytes": memory,
