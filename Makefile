@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire bench-soa service-smoke load-slo validate-bench
+.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire bench-soa service-smoke scenario-smoke scenario-full load-slo validate-bench
 
 # Line-coverage floor enforced by `make coverage` (and the CI coverage job).
 COV_FAIL_UNDER ?= 85
@@ -78,6 +78,20 @@ service-smoke:
 		--wire-min-speedup 3.0 --json BENCH_SERVICE.json
 	$(PYTHON) benchmarks/validate_bench_json.py BENCH_SERVICE.json
 
+# Scenario-suite gate (the CI `scenario-smoke` job): simulate bundled
+# YAML workloads through the scenario runner, verify realized error
+# against the offline-optimal oracle, and require every differential
+# conformance cell (object/soa x serial/parallel x scalar/batched) to
+# be bit-identical.  `scenario-full` is the nightly configuration: all
+# bundled scenarios plus the full matrix.
+scenario-smoke:
+	$(PYTHON) benchmarks/bench_scenarios.py --smoke --json BENCH_SCENARIO.json
+	$(PYTHON) benchmarks/validate_bench_json.py BENCH_SCENARIO.json
+
+scenario-full:
+	$(PYTHON) benchmarks/bench_scenarios.py --json BENCH_SCENARIO.json
+	$(PYTHON) benchmarks/validate_bench_json.py BENCH_SCENARIO.json
+
 # Cluster load-SLO gate (the CI `load-slo` job): boot a sharded router
 # with LOAD_WORKERS worker processes, drive LOAD_CLIENTS concurrent
 # mixed append/query clients over both transports, SIGKILL one worker
@@ -110,4 +124,5 @@ load-slo:
 validate-bench:
 	$(PYTHON) benchmarks/validate_bench_json.py --allow-missing \
 		BENCH_PR.json BENCH_PARALLEL.json BENCH_WIRE.json \
-		BENCH_SOA.json BENCH_SERVICE.json BENCH_LOAD.json
+		BENCH_SOA.json BENCH_SERVICE.json BENCH_LOAD.json \
+		BENCH_SCENARIO.json

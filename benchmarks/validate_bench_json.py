@@ -106,6 +106,18 @@ SPECS = {
             "pwl_scalar.speedup",
         ],
     },
+    "BENCH_SCENARIO.json": {
+        "required": [
+            "schema",
+            "mode",
+            "scenarios",
+            "conformance.scenarios_checked",
+            "conformance.cells_checked",
+            "conformance.bit_identical",
+            "conformance.mismatches",
+            "generated_unix",
+        ],
+    },
     "BENCH_PR.json": {"required": []},
     "BENCH_PARALLEL.json": {"required": []},
 }

@@ -15,6 +15,8 @@ Subcommands::
     repro-histogram wavelet
     repro-histogram recover --dir checkpoints/
     repro-histogram serve --port 7607 --checkpoint-dir state/ --workers 3
+    repro-histogram scenario list
+    repro-histogram scenario run bursty-drift --method min-merge
 
 The ``figN`` subcommands regenerate the series behind the corresponding
 figure in the paper; ``--paper`` switches from the quick interactive sizes
@@ -195,6 +197,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-binary", action="store_true",
         help="pin every connection to JSON lines (disable the negotiated "
         "binary wire protocol; see docs/WIRE.md)",
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run YAML workload scenarios (see docs/SCENARIOS.md)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the bundled scenarios")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="simulate one scenario and report error vs the oracle"
+    )
+    scenario_run.add_argument(
+        "spec",
+        help="scenario YAML path or bundled scenario name (see scenario list)",
+    )
+    scenario_run.add_argument(
+        "--method", default="min-merge",
+        help="registry method to drive (default: min-merge)",
+    )
+    scenario_run.add_argument(
+        "--backend", default="object", choices=("object", "soa"),
+        help="summary backend (soa requires a merge-capable method)",
+    )
+    scenario_run.add_argument(
+        "--workers", type=int, default=None,
+        help="shard ingest across N workers (merge-capable methods only)",
+    )
+    scenario_run.add_argument(
+        "--target", default="local", choices=("local", "service"),
+        help="run in-process or through an ephemeral TCP service",
+    )
+    scenario_run.add_argument(
+        "--conformance", action="store_true",
+        help="also run the differential conformance matrix on the scenario",
+    )
+    scenario_run.add_argument(
+        "--json", action="store_true",
+        help="emit the ScenarioReport as JSON instead of text",
     )
 
     plan = sub.add_parser(
@@ -505,11 +545,90 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_recover(args))
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "scenario":
+        return _cmd_scenario(args)
     elif args.command == "plot":
         print(_cmd_plot(args))
     elif args.command == "plan":
         print(_cmd_plan(args))
     return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        bundled_scenarios,
+        check_conformance,
+        load_bundled,
+        resolve_spec,
+        run_scenario,
+    )
+
+    if args.scenario_command == "list":
+        lines = ["name                     length  streams  description"]
+        for name in bundled_scenarios():
+            spec = load_bundled(name)
+            lines.append(
+                f"{name:<24}{spec.length:>7,}{spec.tenants.streams:>9}  "
+                f"{' '.join(spec.description.split())}"
+            )
+        print("\n".join(lines))
+        return 0
+
+    spec = resolve_spec(args.spec)
+    report = run_scenario(
+        spec,
+        args.method,
+        target=args.target,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    conformance = None
+    if args.conformance:
+        conformance = check_conformance(spec, args.method)
+    if args.json:
+        payload = report.to_dict()
+        if conformance is not None:
+            payload["conformance"] = conformance.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.all_bounds_ok else 1
+    lines = [
+        f"scenario    : {spec.name} ({report.items:,} items, "
+        f"{len(report.streams)} stream(s))",
+        f"method      : {args.method} (B={spec.buckets}, "
+        f"backend={args.backend}, target={args.target}"
+        + (f", workers={args.workers}" if args.workers else "")
+        + (f", window={spec.window}" if spec.window else "")
+        + ")",
+    ]
+    for stream in report.streams:
+        recovered = (
+            ""
+            if stream.recovered_identical is None
+            else f", recovered-identical={stream.recovered_identical}"
+        )
+        lines.append(
+            f"  {stream.stream}: error={stream.error:g} "
+            f"(true={stream.true_error:g}, oracle={stream.oracle_error:g}, "
+            f"bound-ok={stream.bound_ok}), buckets={stream.buckets_used}, "
+            f"memory={stream.memory_bytes:,} B, "
+            f"{stream.throughput_items_per_second:,.0f} items/s, "
+            f"p99={stream.append.p99_ms:.3f} ms{recovered}"
+        )
+    lines.append(
+        f"verdict     : bounds {'OK' if report.all_bounds_ok else 'VIOLATED'} "
+        f"(worst error / bound ratio {report.worst_error_ratio:.4f})"
+    )
+    if report.faults_fired:
+        lines.append(f"faults fired: {', '.join(report.faults_fired)}")
+    if conformance is not None:
+        lines.append(
+            f"conformance : {'OK' if conformance.ok else 'FAILED'} "
+            f"({conformance.cell_count} cells)"
+        )
+    print("\n".join(lines))
+    return 0 if report.all_bounds_ok else 1
 
 
 def _cmd_plan(args: argparse.Namespace) -> str:

@@ -1,6 +1,7 @@
 """Workload data: synthetic generators and the paper's three datasets."""
 
 from repro.data.generators import (
+    SeedLike,
     ar1_process,
     brownian_walk,
     mixture_stream,
@@ -22,6 +23,7 @@ from repro.data.quantize import quantize_to_universe
 from repro.data.io import load_quantized, load_series
 
 __all__ = [
+    "SeedLike",
     "ar1_process",
     "brownian_walk",
     "mixture_stream",

@@ -8,16 +8,32 @@ public type, and ``extend()`` coerces them to an ndarray once so ingestion
 still runs through the vectorized batch kernels
 (:mod:`repro.core.batch`).  Wrap a generator's output in ``np.asarray``
 yourself to skip even that single coercion.
+
+``seed`` accepts either an int or a live :class:`numpy.random.Generator`.
+Passing a Generator lets a composite workload (for example one
+:class:`~repro.scenarios.ScenarioSpec`) derive every stream, regime, and
+schedule from a single spec-level seed: the caller spawns child
+generators once and threads them through, so the whole run is
+reproducible byte-for-byte from one number (pinned by the regression
+suite in ``tests/test_scenarios.py``).
 """
 
 from __future__ import annotations
+
+from typing import Union
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 
+#: Anything accepted as a ``seed=``: an int (a fresh Generator is created
+#: from it) or an existing Generator (used as-is, advancing its state).
+SeedLike = Union[int, np.random.Generator]
 
-def _rng(seed: int) -> np.random.Generator:
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
     return np.random.default_rng(seed)
 
 
@@ -26,7 +42,7 @@ def _check_length(n: int) -> None:
         raise InvalidParameterError(f"length must be >= 1, got {n}")
 
 
-def brownian_walk(n: int, *, seed: int = 0, step: float = 1.0) -> list[float]:
+def brownian_walk(n: int, *, seed: SeedLike = 0, step: float = 1.0) -> list[float]:
     """One-dimensional random walk (the paper's *Brownian* dataset shape).
 
     Gaussian steps of standard deviation ``step``, starting at 0.
@@ -39,7 +55,7 @@ def brownian_walk(n: int, *, seed: int = 0, step: float = 1.0) -> list[float]:
 
 
 def uniform_noise(
-    n: int, *, seed: int = 0, low: float = 0.0, high: float = 1.0
+    n: int, *, seed: SeedLike = 0, low: float = 0.0, high: float = 1.0
 ) -> list[float]:
     """I.i.d. uniform values in ``[low, high)`` -- a worst case for bucketing."""
     _check_length(n)
@@ -51,7 +67,7 @@ def uniform_noise(
 def sine_wave(
     n: int,
     *,
-    seed: int = 0,
+    seed: SeedLike = 0,
     periods: float = 4.0,
     noise: float = 0.0,
     amplitude: float = 1.0,
@@ -68,7 +84,7 @@ def sine_wave(
 def step_function(
     n: int,
     *,
-    seed: int = 0,
+    seed: SeedLike = 0,
     steps: int = 16,
     low: float = 0.0,
     high: float = 1.0,
@@ -93,7 +109,7 @@ def step_function(
 def spike_train(
     n: int,
     *,
-    seed: int = 0,
+    seed: SeedLike = 0,
     spike_probability: float = 0.01,
     base: float = 0.0,
     spike_height: float = 10.0,
@@ -118,7 +134,7 @@ def spike_train(
 
 
 def ar1_process(
-    n: int, *, seed: int = 0, phi: float = 0.98, sigma: float = 1.0
+    n: int, *, seed: SeedLike = 0, phi: float = 0.98, sigma: float = 1.0
 ) -> list[float]:
     """AR(1) process ``x_t = phi x_{t-1} + N(0, sigma)`` -- correlated noise."""
     _check_length(n)
@@ -133,7 +149,7 @@ def ar1_process(
     return series.tolist()
 
 
-def mixture_stream(n: int, *, seed: int = 0) -> list[float]:
+def mixture_stream(n: int, *, seed: SeedLike = 0) -> list[float]:
     """Concatenation of heterogeneous regimes (trend, plateau, noise, spikes).
 
     Useful for exercising bucket-boundary placement: a good max-error

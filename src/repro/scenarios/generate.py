@@ -1,0 +1,299 @@
+"""Deterministic workload synthesis from a :class:`ScenarioSpec`.
+
+Everything here is a pure function of the spec: one spec-level seed is
+expanded through ``numpy.random.SeedSequence`` into independent child
+generators for each (stream, purpose) pair, and those children are
+threaded straight into :mod:`repro.data.generators` (which accept live
+``Generator`` instances).  Two calls with the same spec therefore
+produce byte-identical arrays -- the regression the conformance suite
+pins -- and adding a stream or purpose never perturbs the others.
+
+The output domain is the paper's integer universe ``[0, U)``:
+float-valued processes are affinely quantized
+(:func:`repro.data.quantize.quantize_to_universe`), while ``zipf`` and
+``constant`` emit integers directly so sparse supports stay genuinely
+sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data import generators
+from repro.data.quantize import quantize_to_universe
+from repro.exceptions import InvalidParameterError
+from repro.scenarios.spec import (
+    DriftSpec,
+    OrderingSpec,
+    ScenarioSpec,
+    ValueSpec,
+)
+
+#: Purpose tags hashed into each child seed so the value process, the
+#: ordering shuffle, and the arrival schedule draw from independent
+#: streams of randomness.
+_PURPOSE_VALUES = 0
+_PURPOSE_ORDER = 1
+_PURPOSE_ARRIVAL = 2
+
+
+def child_rng(spec: ScenarioSpec, stream: int, purpose: int) -> np.random.Generator:
+    """The deterministic child generator for one (stream, purpose) pair."""
+    return np.random.default_rng(
+        np.random.SeedSequence([int(spec.seed), int(stream), int(purpose)])
+    )
+
+
+# -- stream lengths (hot/cold tenant split) ------------------------------------
+
+
+def stream_lengths(spec: ScenarioSpec) -> List[int]:
+    """Items per tenant stream, summing exactly to ``spec.length``.
+
+    Hot streams (the first ``ceil(hot_fraction * streams)``) split
+    ``hot_weight`` of the items evenly; cold streams split the rest.
+    Remainders go to the earliest streams of each class so the split is
+    deterministic and every stream gets at least one item.
+    """
+    streams = spec.tenants.streams
+    if streams == 1:
+        return [spec.length]
+    hot = (
+        max(1, int(np.ceil(spec.tenants.hot_fraction * streams)))
+        if spec.tenants.hot_fraction > 0.0
+        else 0
+    )
+    cold = streams - hot
+    hot_items = int(round(spec.length * spec.tenants.hot_weight)) if hot else 0
+    if not cold:
+        hot_items = spec.length  # everyone is hot; the split is moot
+    # Every stream must see >= 1 item; steal from the bigger class if the
+    # rounding starved one side.
+    hot_items = min(max(hot_items, hot), spec.length - cold)
+    cold_items = spec.length - hot_items
+    lengths = []
+    for cls_count, cls_items in ((hot, hot_items), (cold, cold_items)):
+        if not cls_count:
+            continue
+        base, extra = divmod(cls_items, cls_count)
+        lengths.extend(base + (1 if i < extra else 0) for i in range(cls_count))
+    return lengths
+
+
+# -- value processes -----------------------------------------------------------
+
+_GENERATOR_PROCESSES = {
+    "brownian": generators.brownian_walk,
+    "uniform": generators.uniform_noise,
+    "sine": generators.sine_wave,
+    "step": generators.step_function,
+    "spikes": generators.spike_train,
+    "ar1": generators.ar1_process,
+    "mixture": generators.mixture_stream,
+}
+
+
+def _process_values(
+    process: str, params: dict, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Raw (pre-drift, pre-quantization) values of one process segment."""
+    if process == "constant":
+        level = float(params.get("level", 0.0))
+        return np.full(n, level)
+    if process == "zipf":
+        return _zipf_values(params, n, rng).astype(float)
+    maker = _GENERATOR_PROCESSES.get(process)
+    if maker is None:  # pragma: no cover - spec validation rejects earlier
+        raise InvalidParameterError(f"unknown value process {process!r}")
+    return np.asarray(maker(n, seed=rng, **params), dtype=float)
+
+
+def _zipf_values(params: dict, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sparse skewed universe: ``support`` points under Zipf(``skew``).
+
+    The support points are drawn once (without replacement where the
+    universe allows) and values are sampled with the Zipf probability
+    mass -- most items hit a handful of heavy points, the long tail is
+    rare, and the occupied fraction of the universe stays tiny.
+    """
+    support = int(params.get("support", 32))
+    skew = float(params.get("skew", 1.2))
+    universe = int(params.get("universe", 1 << 15))
+    if support < 1:
+        raise InvalidParameterError(f"support must be >= 1, got {support}")
+    if skew <= 0.0:
+        raise InvalidParameterError(f"skew must be > 0, got {skew}")
+    support = min(support, universe)
+    points = np.sort(rng.choice(universe, size=support, replace=False))
+    weights = 1.0 / np.arange(1, support + 1, dtype=float) ** skew
+    weights /= weights.sum()
+    # Rank-to-point assignment is itself shuffled so the heavy hitters
+    # are not always the numerically smallest support points.
+    ranked = rng.permutation(points)
+    return ranked[rng.choice(support, size=n, p=weights)]
+
+
+def _apply_drift(values: np.ndarray, drift: DriftSpec) -> np.ndarray:
+    if drift.kind == "none" or drift.magnitude == 0.0:
+        return values
+    n = len(values)
+    if drift.kind == "linear":
+        return values + np.linspace(0.0, drift.magnitude, n)
+    # jump: a level shift past the switch point.
+    switch = int(round(drift.at * n))
+    out = values.copy()
+    out[switch:] += drift.magnitude
+    return out
+
+
+def _regime_lengths(values: ValueSpec, n: int) -> List[int]:
+    """Per-regime item counts, proportional to fractions, summing to n."""
+    fractions = np.asarray([r.fraction for r in values.regimes], dtype=float)
+    fractions /= fractions.sum()
+    counts = np.floor(fractions * n).astype(int)
+    counts[: n - int(counts.sum())] += 1  # distribute the remainder
+    return [int(c) for c in counts]
+
+
+def _raw_values(spec: ScenarioSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    vs = spec.values
+    if vs.regimes:
+        parts = [
+            _process_values(r.process, r.params, count, rng)
+            for r, count in zip(vs.regimes, _regime_lengths(vs, n))
+            if count > 0
+        ]
+        raw = np.concatenate(parts)
+    else:
+        raw = _process_values(vs.process, vs.params, n, rng)
+    return _apply_drift(raw, vs.drift)
+
+
+# -- orderings -----------------------------------------------------------------
+
+
+def _adversarial_interleave(values: np.ndarray) -> np.ndarray:
+    """Alternate the sorted extremes: v(0), v(n-1), v(1), v(n-2), ...
+
+    Every adjacent pair then spans nearly the full remaining value range,
+    the worst case for greedy bucket-boundary placement: a summary that
+    closes buckets too eagerly burns its whole budget on the first few
+    pairs.
+    """
+    ordered = np.sort(values)
+    out = np.empty_like(ordered)
+    half = (len(ordered) + 1) // 2
+    out[0::2] = ordered[:half]
+    out[1::2] = ordered[len(ordered) - 1 : half - 1 : -1]
+    return out
+
+
+def apply_ordering(
+    values: np.ndarray, ordering: OrderingSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """Reorder ``values`` per the spec; the multiset is always preserved."""
+    if ordering.kind == "sorted":
+        values = np.sort(values)
+    elif ordering.kind == "reverse":
+        values = np.sort(values)[::-1]
+    elif ordering.kind == "shuffled":
+        values = rng.permutation(values)
+    elif ordering.kind == "adversarial":
+        values = _adversarial_interleave(values)
+    if ordering.out_of_order > 0.0 and len(values) > 1:
+        # Bounded-delay shuffle: displaced items get a fractional key
+        # offset < displacement, and a stable argsort realizes the
+        # arrival order -- no item moves further than its delay bound.
+        n = len(values)
+        keys = np.arange(n, dtype=float)
+        displaced = rng.random(n) < ordering.out_of_order
+        keys[displaced] += rng.uniform(
+            0.0, float(ordering.displacement), size=int(displaced.sum())
+        )
+        values = values[np.argsort(keys, kind="stable")]
+    return np.ascontiguousarray(values)
+
+
+# -- arrival schedules ---------------------------------------------------------
+
+
+def batch_schedule(
+    spec: ScenarioSpec, n: int, rng: np.random.Generator
+) -> List[int]:
+    """Append-batch sizes for one ``n``-item stream (sums to ``n``)."""
+    arrival = spec.arrival
+    sizes: List[int] = []
+    remaining = n
+    index = 0
+    while remaining > 0:
+        if arrival.pattern == "steady":
+            size = arrival.batch
+        elif arrival.pattern == "bursty":
+            burst = (index + 1) % arrival.burst_every == 0
+            size = arrival.batch if burst else arrival.trickle
+        else:  # heavy-tailed
+            draw = rng.pareto(arrival.alpha) * arrival.batch
+            size = int(min(max(1.0, draw), float(arrival.max_batch)))
+        sizes.append(min(size, remaining))
+        remaining -= sizes[-1]
+        index += 1
+    return sizes
+
+
+# -- the public surface --------------------------------------------------------
+
+
+def generate_stream(spec: ScenarioSpec, stream: int = 0) -> np.ndarray:
+    """The finished integer value array of tenant stream ``stream``."""
+    lengths = stream_lengths(spec)
+    if not 0 <= stream < len(lengths):
+        raise InvalidParameterError(
+            f"stream index {stream} out of range for "
+            f"{len(lengths)}-stream scenario {spec.name!r}"
+        )
+    n = lengths[stream]
+    raw = _raw_values(spec, n, child_rng(spec, stream, _PURPOSE_VALUES))
+    if spec.values.process in ("zipf",) and not spec.values.regimes:
+        # Already integer-valued on a sparse support; clip instead of
+        # re-quantizing so the support stays sparse in [0, U).
+        domain = np.clip(raw, 0, spec.universe - 1).astype(np.int64)
+    else:
+        domain = np.asarray(
+            quantize_to_universe(raw, spec.universe), dtype=np.int64
+        )
+    ordered = apply_ordering(
+        domain, spec.ordering, child_rng(spec, stream, _PURPOSE_ORDER)
+    )
+    return ordered
+
+
+def generate(spec: ScenarioSpec) -> Dict[str, np.ndarray]:
+    """All tenant streams: ``{stream_name: values}`` in spec order."""
+    return {
+        name: generate_stream(spec, i)
+        for i, name in enumerate(spec.stream_names)
+    }
+
+
+def schedules(spec: ScenarioSpec) -> Dict[str, List[int]]:
+    """Per-stream arrival schedules: ``{stream_name: [batch sizes]}``."""
+    lengths = stream_lengths(spec)
+    return {
+        name: batch_schedule(
+            spec, lengths[i], child_rng(spec, i, _PURPOSE_ARRIVAL)
+        )
+        for i, name in enumerate(spec.stream_names)
+    }
+
+
+def fingerprint(spec: ScenarioSpec) -> str:
+    """A stable hex digest of every generated stream (regression anchor)."""
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    for name, values in generate(spec).items():
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(values).tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,391 @@
+"""The scenario DSL: a declarative description of one streaming workload.
+
+A :class:`ScenarioSpec` names everything that shapes a workload before a
+single value is generated:
+
+* **arrival** -- how items arrive over time (steady batches, bursty
+  trickle-then-flood, heavy-tailed Pareto batch sizes);
+* **values** -- the value process (any generator from
+  :mod:`repro.data.generators`, plus ``constant`` and the sparse/skewed
+  ``zipf`` universe), optional distribution drift, and regime switches;
+* **ordering** -- the arrival order of the generated values (natural,
+  sorted, reversed, shuffled, adversarial bucket-boundary interleaving)
+  plus a bounded out-of-order displacement fraction for the
+  sliding-window variants;
+* **tenants** -- how many streams the scenario spans and how skewed the
+  hot/cold item split is;
+* **faults** -- an optional :class:`~repro.resilience.FaultPlan` table
+  injected into the checkpointed ingest cycle.
+
+Specs are plain frozen dataclasses with an exact dict/YAML round trip
+(``from_dict(to_dict(spec)) == spec``); unknown keys are rejected so a
+typo in a scenario file fails loudly instead of silently changing the
+workload.  Everything downstream -- generation
+(:mod:`repro.scenarios.generate`), execution
+(:mod:`repro.scenarios.runner`), and the differential conformance suite
+(:mod:`repro.scenarios.conformance`) -- is a pure function of the spec,
+so one spec-level ``seed`` reproduces a run byte-for-byte.
+
+YAML support needs PyYAML; the dict/JSON forms work without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Mapping, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+#: Recognized arrival patterns (see :class:`ArrivalSpec`).
+ARRIVAL_PATTERNS = ("steady", "bursty", "heavy-tailed")
+
+#: Recognized value processes (see :class:`ValueSpec`).  All but the last
+#: two map onto :mod:`repro.data.generators`.
+VALUE_PROCESSES = (
+    "brownian",
+    "uniform",
+    "sine",
+    "step",
+    "spikes",
+    "ar1",
+    "mixture",
+    "constant",
+    "zipf",
+)
+
+#: Recognized orderings (see :class:`OrderingSpec`).
+ORDERINGS = ("natural", "sorted", "reverse", "shuffled", "adversarial")
+
+#: Recognized drift kinds (see :class:`DriftSpec`).
+DRIFT_KINDS = ("none", "linear", "jump")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+def _only_known_keys(data: Mapping, cls) -> dict:
+    """``data`` restricted to ``cls`` fields; unknown keys raise."""
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    _require(
+        not unknown,
+        f"unknown {cls.__name__} key(s) {unknown}; known: {sorted(known)}",
+    )
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How items arrive: a deterministic schedule of append-batch sizes.
+
+    The summaries have no wall clock, so "arrival" means *batching*: the
+    schedule decides how many items each append carries, which is exactly
+    what the batched ingest kernels, the wire protocol, and the service
+    queue see.  Patterns:
+
+    * ``steady`` -- every batch carries ``batch`` items;
+    * ``bursty`` -- ``trickle``-sized batches, except every
+      ``burst_every``-th batch floods ``batch`` items at once;
+    * ``heavy-tailed`` -- Pareto(``alpha``)-distributed batch sizes with
+      mean scale ``batch``, clipped to ``[1, max_batch]``.
+    """
+
+    pattern: str = "steady"
+    batch: int = 256
+    trickle: int = 16
+    burst_every: int = 8
+    alpha: float = 1.5
+    max_batch: int = 65_536
+
+    def __post_init__(self) -> None:
+        _require(
+            self.pattern in ARRIVAL_PATTERNS,
+            f"arrival pattern must be one of {ARRIVAL_PATTERNS}, "
+            f"got {self.pattern!r}",
+        )
+        _require(self.batch >= 1, f"batch must be >= 1, got {self.batch}")
+        _require(self.trickle >= 1, f"trickle must be >= 1, got {self.trickle}")
+        _require(
+            self.burst_every >= 1,
+            f"burst_every must be >= 1, got {self.burst_every}",
+        )
+        _require(self.alpha > 0.0, f"alpha must be > 0, got {self.alpha}")
+        _require(
+            self.max_batch >= self.batch,
+            f"max_batch {self.max_batch} smaller than batch {self.batch}",
+        )
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Distribution drift layered over the value process.
+
+    ``linear`` adds a ramp from 0 to ``magnitude`` across the stream;
+    ``jump`` adds ``magnitude`` to every value past fraction ``at`` (a
+    regime-switch step in the level).  Magnitudes are in pre-quantization
+    value units, so a magnitude comparable to the process's own range
+    visibly re-shapes the stream.
+    """
+
+    kind: str = "none"
+    magnitude: float = 0.0
+    at: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in DRIFT_KINDS,
+            f"drift kind must be one of {DRIFT_KINDS}, got {self.kind!r}",
+        )
+        _require(0.0 <= self.at <= 1.0, f"at must lie in [0, 1], got {self.at}")
+
+
+@dataclass(frozen=True)
+class RegimeSpec:
+    """One regime of a regime-switching value process."""
+
+    process: str = "brownian"
+    fraction: float = 1.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(
+            self.process in VALUE_PROCESSES,
+            f"process must be one of {VALUE_PROCESSES}, got {self.process!r}",
+        )
+        _require(
+            self.fraction > 0.0,
+            f"regime fraction must be > 0, got {self.fraction}",
+        )
+
+
+@dataclass(frozen=True)
+class ValueSpec:
+    """The value process: what the stream's numbers look like.
+
+    ``process`` names one generator (``params`` are passed through to
+    it); a non-empty ``regimes`` tuple overrides it with a concatenation
+    of per-regime processes, fractions normalized over the stream length
+    -- the regime-switch workloads that stress bucket-boundary placement.
+    ``zipf`` draws from a sparse ``support``-point universe with
+    Zipf(``skew``) weights (the Chen--Indyk--Wagner sparse/skewed shape);
+    ``constant`` emits ``params["level"]`` everywhere.
+    """
+
+    process: str = "brownian"
+    params: dict = field(default_factory=dict)
+    drift: DriftSpec = field(default_factory=DriftSpec)
+    regimes: Tuple[RegimeSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(
+            self.process in VALUE_PROCESSES,
+            f"process must be one of {VALUE_PROCESSES}, got {self.process!r}",
+        )
+        object.__setattr__(
+            self,
+            "regimes",
+            tuple(
+                r if isinstance(r, RegimeSpec) else RegimeSpec(**r)
+                for r in self.regimes
+            ),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ValueSpec":
+        """Build from the plain-dict form; unknown keys raise."""
+        data = _only_known_keys(data, cls)
+        if "drift" in data and isinstance(data["drift"], Mapping):
+            data["drift"] = DriftSpec(**_only_known_keys(data["drift"], DriftSpec))
+        if "regimes" in data:
+            data["regimes"] = tuple(
+                RegimeSpec(**_only_known_keys(r, RegimeSpec))
+                if isinstance(r, Mapping)
+                else r
+                for r in data["regimes"]
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class OrderingSpec:
+    """The arrival order of the generated values.
+
+    ``kind`` permutes the whole stream; ``adversarial`` interleaves the
+    sorted extremes (smallest, largest, second-smallest, ...) so every
+    adjacent pair spans nearly the full value range -- the worst case
+    for bucket-boundary placement.  ``out_of_order`` then locally
+    displaces that fraction of items by up to ``displacement`` positions
+    (a bounded-delay timestamp shuffle, the shape the sliding-window
+    variants must absorb).  Every transform preserves the value multiset.
+    """
+
+    kind: str = "natural"
+    out_of_order: float = 0.0
+    displacement: int = 64
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ORDERINGS,
+            f"ordering must be one of {ORDERINGS}, got {self.kind!r}",
+        )
+        _require(
+            0.0 <= self.out_of_order <= 1.0,
+            f"out_of_order must lie in [0, 1], got {self.out_of_order}",
+        )
+        _require(
+            self.displacement >= 1,
+            f"displacement must be >= 1, got {self.displacement}",
+        )
+
+
+@dataclass(frozen=True)
+class TenantsSpec:
+    """Multi-tenant shape: stream count and hot/cold item skew.
+
+    ``hot_fraction`` of the streams (at least one, when positive) are
+    *hot* and together own ``hot_weight`` of the scenario's items; the
+    rest split the remainder evenly.  ``streams=1`` (the default) is a
+    single-tenant scenario.
+    """
+
+    streams: int = 1
+    hot_fraction: float = 0.0
+    hot_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.streams >= 1, f"streams must be >= 1, got {self.streams}")
+        _require(
+            0.0 <= self.hot_fraction <= 1.0,
+            f"hot_fraction must lie in [0, 1], got {self.hot_fraction}",
+        )
+        _require(
+            0.0 <= self.hot_weight <= 1.0,
+            f"hot_weight must lie in [0, 1], got {self.hot_weight}",
+        )
+        _require(
+            (self.hot_fraction > 0.0) == (self.hot_weight > 0.0),
+            "hot_fraction and hot_weight must be zero or non-zero together",
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, reproducible workload description.
+
+    ``length`` is the *total* item count across all tenant streams;
+    ``universe`` is the integer value domain ``[0, U)`` every process is
+    quantized into (the paper's Section 5 setup); ``window`` routes the
+    run to the sliding-window variants; ``faults`` is a
+    :class:`~repro.resilience.FaultPlan` budget table injected into the
+    checkpointed ingest cycle (empty = no faults).
+    """
+
+    name: str
+    length: int = 10_000
+    seed: int = 0
+    buckets: int = 32
+    universe: int = 4_096
+    epsilon: float = 0.1
+    window: Optional[int] = None
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    values: ValueSpec = field(default_factory=ValueSpec)
+    ordering: OrderingSpec = field(default_factory=OrderingSpec)
+    tenants: TenantsSpec = field(default_factory=TenantsSpec)
+    faults: dict = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario name must be non-empty")
+        _require(self.length >= 1, f"length must be >= 1, got {self.length}")
+        _require(self.buckets >= 1, f"buckets must be >= 1, got {self.buckets}")
+        _require(
+            self.universe >= 2, f"universe must be >= 2, got {self.universe}"
+        )
+        _require(self.epsilon > 0.0, f"epsilon must be > 0, got {self.epsilon}")
+        if self.window is not None:
+            _require(self.window >= 1, f"window must be >= 1, got {self.window}")
+        _require(
+            self.length >= self.tenants.streams,
+            f"length {self.length} smaller than stream count "
+            f"{self.tenants.streams}",
+        )
+
+    # -- round trip -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form; ``from_dict`` inverts it exactly."""
+        data = asdict(self)
+        data["values"]["regimes"] = [asdict(r) for r in self.values.regimes]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Build a spec from the :meth:`to_dict` form; unknown keys raise."""
+        data = _only_known_keys(data, cls)
+        if isinstance(data.get("arrival"), Mapping):
+            data["arrival"] = ArrivalSpec(
+                **_only_known_keys(data["arrival"], ArrivalSpec)
+            )
+        if isinstance(data.get("values"), Mapping):
+            data["values"] = ValueSpec.from_dict(data["values"])
+        if isinstance(data.get("ordering"), Mapping):
+            data["ordering"] = OrderingSpec(
+                **_only_known_keys(data["ordering"], OrderingSpec)
+            )
+        if isinstance(data.get("tenants"), Mapping):
+            data["tenants"] = TenantsSpec(
+                **_only_known_keys(data["tenants"], TenantsSpec)
+            )
+        return cls(**data)
+
+    def to_yaml(self) -> str:
+        """YAML form of :meth:`to_dict` (needs PyYAML)."""
+        yaml = _yaml()
+        return yaml.safe_dump(self.to_dict(), sort_keys=False)
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "ScenarioSpec":
+        """Parse a YAML scenario document (needs PyYAML)."""
+        yaml = _yaml()
+        data = yaml.safe_load(text)
+        _require(
+            isinstance(data, Mapping),
+            f"a scenario document must be a mapping, got {type(data).__name__}",
+        )
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "ScenarioSpec":
+        """Read one spec from a YAML file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_yaml(handle.read())
+
+    def save(self, path) -> None:
+        """Write the spec as YAML."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_yaml())
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """A copy with top-level fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    @property
+    def stream_names(self) -> Tuple[str, ...]:
+        """The tenant stream names, in generation order."""
+        return tuple(
+            f"{self.name}/{i:03d}" for i in range(self.tenants.streams)
+        )
+
+
+def _yaml():
+    """Import PyYAML lazily with an actionable error when absent."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - test env ships pyyaml
+        raise InvalidParameterError(
+            "YAML scenario files need PyYAML (pip install pyyaml); "
+            "dict/JSON specs via ScenarioSpec.from_dict work without it"
+        ) from exc
+    return yaml

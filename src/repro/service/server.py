@@ -61,7 +61,14 @@ from repro.service.engine import StreamEngine
 #: hostile client should not buffer unbounded memory server-side).
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-_STREAM_CONFIG_KEYS = ("method", "buckets", "epsilon", "universe", "window")
+_STREAM_CONFIG_KEYS = (
+    "method",
+    "buckets",
+    "epsilon",
+    "universe",
+    "window",
+    "backend",
+)
 
 _SERVER_NAME = "repro-histogram"
 
