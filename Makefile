@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire bench-soa service-smoke scenario-smoke scenario-full load-slo validate-bench
+.PHONY: test overhead-guard lint coverage check bench bench-smoke bench-parallel bench-wire bench-soa service-smoke rest-smoke scenario-smoke scenario-full load-slo validate-bench
 
 # Line-coverage floor enforced by `make coverage` (and the CI coverage job).
 COV_FAIL_UNDER ?= 85
@@ -78,6 +78,15 @@ service-smoke:
 		--wire-min-speedup 3.0 --json BENCH_SERVICE.json
 	$(PYTHON) benchmarks/validate_bench_json.py BENCH_SERVICE.json
 
+# REST facade gate (the CI `rest-smoke` job): boot one engine behind
+# both the TCP server and the HTTP facade, stream the same dataset
+# through each, require bit-identical histograms, and keep the REST
+# append p50 within 5x of the binary transport (see docs/REST.md).
+rest-smoke:
+	$(PYTHON) benchmarks/bench_rest_smoke.py --items 60000 \
+		--max-ratio 5.0 --json BENCH_REST.json
+	$(PYTHON) benchmarks/validate_bench_json.py BENCH_REST.json
+
 # Scenario-suite gate (the CI `scenario-smoke` job): simulate bundled
 # YAML workloads through the scenario runner, verify realized error
 # against the offline-optimal oracle, and require every differential
@@ -125,4 +134,4 @@ validate-bench:
 	$(PYTHON) benchmarks/validate_bench_json.py --allow-missing \
 		BENCH_PR.json BENCH_PARALLEL.json BENCH_WIRE.json \
 		BENCH_SOA.json BENCH_SERVICE.json BENCH_LOAD.json \
-		BENCH_SCENARIO.json
+		BENCH_SCENARIO.json BENCH_REST.json

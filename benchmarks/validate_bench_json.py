@@ -118,6 +118,24 @@ SPECS = {
             "generated_unix",
         ],
     },
+    "BENCH_REST.json": {
+        "required": [
+            "schema",
+            "items",
+            "chunk",
+            "max_ratio",
+            "bit_identical",
+            "transports.binary.p50_ms",
+            "transports.binary.p99_ms",
+            "transports.binary.items_per_second",
+            "transports.rest.p50_ms",
+            "transports.rest.p99_ms",
+            "transports.rest.items_per_second",
+            "p50_ratio",
+            "gate",
+            "generated_unix",
+        ],
+    },
     "BENCH_PR.json": {"required": []},
     "BENCH_PARALLEL.json": {"required": []},
 }

@@ -198,6 +198,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pin every connection to JSON lines (disable the negotiated "
         "binary wire protocol; see docs/WIRE.md)",
     )
+    serve.add_argument(
+        "--http-port", type=int, default=None,
+        help="also mount the HTTP/REST facade on this port (0 = pick a "
+        "free port and print it; see docs/REST.md)",
+    )
+    serve.add_argument(
+        "--rebalance", action="store_true",
+        help="cluster mode only: run the load-driven auto-rebalancer "
+        "(moves hot streams between workers via live handoff)",
+    )
+    serve.add_argument(
+        "--rebalance-interval", type=float, default=2.0,
+        help="seconds between auto-rebalancer passes (with --rebalance)",
+    )
 
     scenario = sub.add_parser(
         "scenario",
@@ -459,6 +473,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     recovered = engine.streams()
     if recovered:
         print(f"recovered {len(recovered)} stream(s): {', '.join(recovered)}")
+    http = None
+    if args.http_port is not None:
+        from repro.service.http import HttpFrontend
+
+        http = HttpFrontend(
+            engine, host=args.host, port=args.http_port
+        ).start_in_background()
+        print(f"REST facade on http://{args.host}:{http.port}/v1", flush=True)
     if args.port == 0:
         # Bind first so the caller learns the chosen port before blocking.
         server.start_in_background()
@@ -468,6 +490,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass
         finally:
+            if http is not None:
+                http.stop()
             server.stop()
             engine.close()
         return 0
@@ -475,6 +499,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.run()
     finally:
+        if http is not None:
+            http.stop()
         engine.close()
     return 0
 
@@ -497,20 +523,41 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         port=args.port,
         checkpoint_every=args.checkpoint_every,
         protocols=protocols,
+        http_port=args.http_port,
     )
     # SIGTERM must tear down the worker processes too, not orphan them.
     signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
     router.start()
+    rebalancer = None
+    if args.rebalance:
+        from repro.service.cluster.rebalance import Rebalancer
+
+        rebalancer = Rebalancer(
+            router, interval=args.rebalance_interval
+        ).start()
     try:
         print(
             f"cluster state in {cluster_dir}; "
             f"workers: {', '.join(router.workers())}"
         )
+        if router.http is not None:
+            print(
+                f"REST facade on http://{args.host}:{router.http_port}/v1",
+                flush=True,
+            )
+        if rebalancer is not None:
+            print(
+                f"auto-rebalancer running every "
+                f"{args.rebalance_interval:g}s",
+                flush=True,
+            )
         print(f"listening on {args.host}:{router.port}", flush=True)
         router.server._thread.join()
     except KeyboardInterrupt:
         pass
     finally:
+        if rebalancer is not None:
+            rebalancer.stop()
         router.stop()
     return 0
 

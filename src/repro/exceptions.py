@@ -21,6 +21,9 @@ single base class.  More specific subclasses identify the failure mode:
 * :class:`BackpressureError` -- the streaming service engine rejected an
   append because the target stream's bounded write queue is full
   (admission control; the request is safe to retry).
+* :class:`UnknownStreamError` -- a request addressed a stream id the
+  engine does not know (surfaced over the wire as ``unknown-stream``,
+  HTTP 404).
 """
 
 from __future__ import annotations
@@ -66,6 +69,16 @@ class InjectedFaultError(ReproError, RuntimeError):
     Simulates a crash (checkpoint I/O) or a worker death (parallel shard
     ingest) at a named fault point; test-only by construction -- no fault
     plan, no faults.
+    """
+
+
+class UnknownStreamError(InvalidParameterError):
+    """A request addressed a stream id the engine does not know.
+
+    Subclasses :class:`InvalidParameterError` so existing callers that
+    catch the broader class (or plain ``ValueError``) keep working; the
+    service layer maps it to its own ``unknown-stream`` error code
+    (HTTP 404) instead of the generic ``invalid``.
     """
 
 

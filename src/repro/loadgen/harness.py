@@ -39,9 +39,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import summarize
-from repro.exceptions import BackpressureError, ReproError
+from repro.exceptions import BackpressureError, InvalidParameterError, ReproError
 from repro.loadgen.latency import LatencySummary, summarize_latencies
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.errors import UnavailableError
 
 #: Ledger statuses (see module docs).
 ACKED = "acked"
@@ -171,7 +172,11 @@ class LoadGenerator:
         ``methods[i % len(methods)]``).
     transports:
         Client transports cycled across clients (mixed JSON/binary by
-        default).
+        default; add ``"rest"`` -- with ``http_port`` -- to mix in
+        clients speaking the HTTP facade of :mod:`repro.service.http`).
+    http_port:
+        The REST facade's port, required when ``transports`` includes
+        ``"rest"``.
     """
 
     def __init__(
@@ -188,9 +193,15 @@ class LoadGenerator:
         transports: Sequence[str] = ("binary", "json"),
         query_every: int = 3,
         connect_retries: int = 20,
+        http_port: Optional[int] = None,
     ) -> None:
+        if "rest" in transports and http_port is None:
+            raise InvalidParameterError(
+                'transports includes "rest" but no http_port was given'
+            )
         self.host = host
         self.port = port
+        self.http_port = http_port
         self.clients = clients
         self.batches_per_client = batches_per_client
         self.batch_size = batch_size
@@ -216,6 +227,10 @@ class LoadGenerator:
         delay = 0.05
         for attempt in range(self.connect_retries):
             try:
+                if transport == "rest":
+                    return ServiceClient.from_url(
+                        f"http://{self.host}:{self.http_port}"
+                    )
                 return ServiceClient(
                     self.host, self.port, transport=transport
                 )
@@ -286,13 +301,12 @@ class LoadGenerator:
                 result.backpressure_retries += 1
                 time.sleep(delay)
                 delay = min(delay * 1.6, 0.5)
-            except ServiceError as exc:
-                if exc.code == "unavailable":
-                    # Worker died mid-request; adoption is underway.
-                    record.status = AMBIGUOUS
-                    result.errors.append(f"{result.stream}: {exc}")
-                    return client
-                raise
+            except UnavailableError as exc:
+                # Worker died mid-request; adoption is underway.  The
+                # one error that is never auto-retried for appends.
+                record.status = AMBIGUOUS
+                result.errors.append(f"{result.stream}: {exc}")
+                return client
             except (ConnectionError, OSError) as exc:
                 # The *front* connection broke; the request outcome is
                 # unknowable from here.

@@ -15,17 +15,35 @@ Composes the library's layers into a long-lived deployment unit:
   binary framing of :mod:`repro.service.wire` (protocol 2,
   ``docs/WIRE.md``) via the ``hello`` op; the client returns the typed
   results of :mod:`repro.service.types` either way.
+* :class:`HttpFrontend` -- the HTTP/1.1 REST facade (``docs/REST.md``)
+  mounted beside the TCP front over the same engine;
+  ``ServiceClient.from_url("http://host:port")`` speaks it through the
+  identical typed client API.
+* :mod:`repro.service.errors` -- the unified error taxonomy
+  (:class:`ErrorCode` + typed :class:`ServiceError` subclasses) shared
+  by the JSON, binary, and HTTP surfaces.
 """
 
 from repro.service.client import (
     BinaryTransport,
     JsonTransport,
     ServiceClient,
-    ServiceError,
     Transport,
 )
-from repro.service.cluster import ClusterRouter, HashRing
+from repro.service.cluster import ClusterRouter, HashRing, Rebalancer
 from repro.service.engine import StreamEngine
+from repro.service.errors import (
+    BadRequestError,
+    EmptyStreamError,
+    ErrorCode,
+    InternalError,
+    InvalidRequestError,
+    ServiceError,
+    UnavailableError,
+    UnknownOperationError,
+    UnknownStreamError,
+)
+from repro.service.http import HttpFrontend, HttpTransport
 from repro.service.server import StreamServer
 from repro.service.session import Session, StreamHandle
 from repro.service.types import (
@@ -38,12 +56,20 @@ from repro.service.types import (
 
 __all__ = [
     "AppendResult",
+    "BadRequestError",
     "BinaryTransport",
     "CheckpointResult",
     "ClusterRouter",
+    "EmptyStreamError",
+    "ErrorCode",
     "HashRing",
+    "HttpFrontend",
+    "HttpTransport",
+    "InternalError",
+    "InvalidRequestError",
     "JsonTransport",
     "QueryResult",
+    "Rebalancer",
     "ServerInfo",
     "ServiceClient",
     "ServiceError",
@@ -53,4 +79,7 @@ __all__ = [
     "StreamHandle",
     "StreamServer",
     "Transport",
+    "UnavailableError",
+    "UnknownOperationError",
+    "UnknownStreamError",
 ]

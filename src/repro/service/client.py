@@ -25,23 +25,37 @@ return any fragment of a response; a write may be short), so the client
 is correct over deliberately fragmenting links -- pinned by the
 fragmenting-socket regression tests in ``tests/test_wire.py``.
 
-``request(payload: dict)`` -- the v1 dict-in/dict-out plumbing -- is
-kept as a thin deprecated shim emitting :class:`DeprecationWarning`,
-mirroring the shim-then-retire convention of earlier API redesigns.
+:meth:`ServiceClient.from_url` selects the transport family from a URL
+(``tcp://host:port`` for this module's socket transports,
+``http://host:port`` for the REST facade of :mod:`repro.service.http`),
+so callers stop hand-wiring host/port/prefer.  Error responses raise
+the typed exceptions of :mod:`repro.service.errors` -- one taxonomy
+across JSON, binary, and HTTP.
+
+``request(payload: dict)`` -- the v1 dict-in/dict-out plumbing -- has
+completed its deprecation window (a :class:`DeprecationWarning` shim
+since the transport split) and is retired: it raises :class:`TypeError`
+naming the typed replacement.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-import warnings
 from typing import Any, Optional, Protocol, runtime_checkable
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
 from repro.core.batch import coerce_batch
-from repro.exceptions import BackpressureError, ReproError
+from repro.exceptions import InvalidParameterError
 from repro.service import wire
+from repro.service.errors import (  # noqa: F401  (ServiceError re-exported)
+    BadRequestError,
+    ServiceError,
+    UnknownOperationError,
+    raise_for_error,
+)
 from repro.service.types import (
     AppendResult,
     CheckpointResult,
@@ -52,35 +66,6 @@ from repro.service.types import (
 from repro.core.histogram import Histogram
 
 _RECV_CHUNK = 1 << 16
-
-
-class ServiceError(ReproError):
-    """A server-side error response, surfaced client-side.
-
-    Carries the wire error ``code`` (``backpressure``, ``invalid``,
-    ``empty``, ...) so callers can branch without string-matching the
-    message.
-    """
-
-    def __init__(self, code: str, message: str) -> None:
-        super().__init__(f"[{code}] {message}")
-        self.code = code
-
-
-def raise_for_error(response: dict) -> dict:
-    """Return an ``ok`` response payload; raise the typed error otherwise.
-
-    The ``backpressure`` code raises
-    :class:`~repro.exceptions.BackpressureError` so engine-side and
-    wire-side callers catch the same exception type.
-    """
-    if response.get("ok"):
-        return response
-    code = response.get("error", "internal")
-    message = response.get("message", "")
-    if code == "backpressure":
-        raise BackpressureError(message)
-    raise ServiceError(code, message)
 
 
 @runtime_checkable
@@ -268,8 +253,8 @@ def negotiate_transport(
         response = json_transport.call(
             {"op": "hello", "proto": list(wire.ALL_PROTOCOLS)}
         )
-    except ServiceError as exc:
-        if exc.code == "unknown-op" and prefer == "auto":
+    except UnknownOperationError:
+        if prefer == "auto":
             # Pre-negotiation server: stay on JSON lines.
             return json_transport, ServerInfo(
                 proto=wire.PROTO_JSON,
@@ -287,10 +272,9 @@ def negotiate_transport(
     if info.proto == wire.PROTO_BINARY:
         return BinaryTransport(io), info
     if prefer == "binary":
-        raise ServiceError(
-            "bad-request",
+        raise BadRequestError(
             f"server only speaks protocol(s) {info.protocols}; "
-            "binary transport unavailable",
+            "binary transport unavailable"
         )
     return json_transport, info
 
@@ -303,7 +287,8 @@ class ServiceClient:
     frames -- is negotiated at connect time and visible as
     :attr:`info`; pass ``transport="json"`` / ``"binary"`` to pin it.
 
-    Error responses raise :class:`ServiceError` (with
+    Error responses raise the typed :class:`ServiceError` subclasses of
+    :mod:`repro.service.errors` (with
     :class:`~repro.exceptions.BackpressureError` for the
     ``backpressure`` code so engine-side and wire-side callers catch
     the same exception type).
@@ -317,6 +302,7 @@ class ServiceClient:
         timeout: float = 30.0,
         transport: str = "auto",
     ) -> None:
+        self._closed = False
         sock = socket.create_connection((host, port), timeout=timeout)
         # Every request is a small write (or two: header then payload)
         # followed by a blocking read, the exact pattern that trips the
@@ -335,6 +321,48 @@ class ServiceClient:
             sock.close()
             raise
 
+    @classmethod
+    def _from_transport(
+        cls, transport: Transport, info: ServerInfo
+    ) -> "ServiceClient":
+        """Wrap an already-connected transport (the ``from_url`` plumbing)."""
+        client = cls.__new__(cls)
+        client._closed = False
+        client._transport = transport
+        client._info = info
+        return client
+
+    @classmethod
+    def from_url(cls, url: str, *, timeout: float = 30.0) -> "ServiceClient":
+        """Connect to a service URL, choosing the transport family.
+
+        ``tcp://host:port`` (optionally ``?transport=json|binary|auto``)
+        uses this module's socket transports with ``hello`` negotiation;
+        ``http://host:port`` talks to the REST facade
+        (:mod:`repro.service.http`) through the same typed client API.
+        A bare ``host:port`` string counts as ``tcp://``.
+        """
+        parsed = urlsplit(url if "//" in url else f"tcp://{url}")
+        scheme = parsed.scheme or "tcp"
+        host = parsed.hostname or "127.0.0.1"
+        if parsed.port is None:
+            raise InvalidParameterError(
+                f"service URL {url!r} must carry an explicit port"
+            )
+        if scheme == "tcp":
+            prefer = parse_qs(parsed.query).get("transport", ["auto"])[0]
+            return cls(host, parsed.port, timeout=timeout, transport=prefer)
+        if scheme == "http":
+            # Imported lazily: the REST module is optional at runtime for
+            # pure-TCP callers and imports this module's helpers.
+            from repro.service.http import connect_http
+
+            return cls._from_transport(*connect_http(host, parsed.port, timeout))
+        raise InvalidParameterError(
+            f"unsupported service URL scheme {scheme!r} (expected "
+            "tcp:// or http://)"
+        )
+
     # -- lifecycle ----------------------------------------------------------
 
     def __enter__(self) -> "ServiceClient":
@@ -344,7 +372,10 @@ class ServiceClient:
         self.close()
 
     def close(self) -> None:
-        """Close the connection."""
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         self._transport.close()
 
     # -- connection introspection -------------------------------------------
@@ -414,29 +445,21 @@ class ServiceClient:
         """Liveness probe."""
         return bool(self._transport.call({"op": "ping"}).get("pong"))
 
-    # -- deprecated v1 surface ------------------------------------------------
+    # -- retired v1 surface ----------------------------------------------------
 
-    def request(self, payload: dict) -> dict:
-        """Send one raw request dict; return the raw response payload.
+    def request(self, payload: object = None) -> dict:
+        """Removed.  The v1 dict-in/dict-out shim completed its
+        deprecation window (``DeprecationWarning`` since the transport
+        split) and now raises :class:`TypeError` unconditionally.
 
-        .. deprecated::
-            The dict-in/dict-out surface is superseded by the typed
-            methods (:meth:`append`, :meth:`query`, :meth:`stats`, ...).
-            This shim routes through the negotiated transport and will
-            be removed after the usual deprecation window.
+        Use the typed methods instead: :meth:`append`, :meth:`query`,
+        :meth:`stats`, :meth:`checkpoint`, :meth:`streams`,
+        :meth:`ping`.  Code that genuinely needs to send a raw request
+        object (tests exercising malformed payloads) can go through
+        ``client.transport.call(payload)`` explicitly.
         """
-        warnings.warn(
-            "ServiceClient.request(payload) is deprecated; use the typed "
-            "methods (append/query/stats/checkpoint/streams/ping) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "ServiceClient.request(payload) was removed; use the typed "
+            "methods (append/query/stats/checkpoint/streams/ping), or "
+            "client.transport.call(payload) for raw requests"
         )
-        if payload.get("op") == "append":
-            rest = dict(payload)
-            rest.pop("op")
-            values = rest.pop("values", [])
-            stream = rest.pop("stream", "")
-            return self._transport.append(stream, values, rest)
-        # Malformed payloads (no "op") pass through untouched so the
-        # server's bad-request answer surfaces exactly as in v1.
-        return self._transport.call(payload)

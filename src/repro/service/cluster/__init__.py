@@ -16,14 +16,19 @@ The horizontal scale-out layer (``docs/CLUSTER.md``)::
   checkpoint root, recovering only the streams the ring assigns it.
 * :class:`ClusterRouter` -- spawns and supervises the workers, fronts
   them behind one listener, adopts a dead worker's streams onto
-  survivors (zero acknowledged appends lost), and hands streams off
-  live between workers.
+  survivors (zero acknowledged appends lost), hands streams off live
+  between workers, and self-heals: ``restart_worker`` re-spawns a dead
+  worker and hands its streams back, ``grow`` extends the ring with
+  fresh workers live.
+* :class:`Rebalancer` -- drives handoff continuously from per-worker
+  load statistics, moving hot streams off the most-loaded worker.
 
 The mergeable-summary guarantees of the paper's MIN-MERGE family are
 what make this safe: a stream's summary is fully described by its
 checkpoint state, so any node can adopt it and continue bit-identically.
 """
 
+from repro.service.cluster.rebalance import Move, Rebalancer
 from repro.service.cluster.ring import DEFAULT_REPLICAS, HashRing, stable_hash
 from repro.service.cluster.router import ClusterRouter
 from repro.service.cluster.worker import build_worker, tenants_dir
@@ -32,6 +37,8 @@ __all__ = [
     "ClusterRouter",
     "DEFAULT_REPLICAS",
     "HashRing",
+    "Move",
+    "Rebalancer",
     "build_worker",
     "stable_hash",
     "tenants_dir",

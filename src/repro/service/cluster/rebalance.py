@@ -1,0 +1,193 @@
+"""Load-driven auto-rebalancing for a live cluster (``docs/CLUSTER.md``).
+
+A consistent-hash ring spreads stream *keys* evenly, but real load is
+skewed: one hot stream can put its worker far above the others.  The
+:class:`Rebalancer` closes that gap with the primitives the router
+already has -- it reads per-worker load from a ``stats`` fan-out and
+moves streams between live workers via the FIFO-drained
+:meth:`~repro.service.cluster.ClusterRouter.handoff` (no value lost, no
+value double-applied, bit-identical state on the new owner).
+
+The plan is deliberately conservative:
+
+* load = ``items_seen + pending_items`` per worker (applied work plus
+  queue depth), each stream weighted the same way;
+* one pass moves at most ``max_moves`` streams, always from the hottest
+  worker to the coldest;
+* a stream moves only when doing so *strictly* shrinks the hot/cold gap
+  (``0 < weight < gap``), so the loop converges instead of oscillating
+  -- a perfectly balanced (or one-stream) cluster plans zero moves.
+
+Run one pass by hand (:meth:`Rebalancer.rebalance_once`, also the
+``POST /v1/cluster/rebalance`` route of the REST facade), or start the
+daemon loop (:meth:`Rebalancer.start` / ``serve --workers N
+--rebalance``) to keep a long-lived cluster level as load drifts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned (or executed) stream migration."""
+
+    stream: str
+    source: str
+    target: str
+    weight: int
+
+    def to_dict(self) -> dict:
+        """Plain-data form (the REST response body)."""
+        return {
+            "stream": self.stream,
+            "source": self.source,
+            "target": self.target,
+            "weight": self.weight,
+        }
+
+
+class Rebalancer:
+    """Plan and execute load-evening stream migrations on a router.
+
+    Parameters
+    ----------
+    router:
+        The live :class:`~repro.service.cluster.ClusterRouter`.
+    interval:
+        Seconds between passes when run as a daemon loop.
+    max_moves:
+        Upper bound on migrations per pass (handoff drains the stream's
+        queue FIFO, so each move is a small availability blip for that
+        one stream -- keep passes incremental).
+    min_gap:
+        Hot/cold load gap (in items) below which the cluster counts as
+        balanced and no move is planned.
+    """
+
+    def __init__(
+        self,
+        router,
+        *,
+        interval: float = 2.0,
+        max_moves: int = 1,
+        min_gap: float = 1.0,
+    ) -> None:
+        self.router = router
+        self.interval = interval
+        self.max_moves = max_moves
+        self.min_gap = min_gap
+        self.moves_done = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- planning -------------------------------------------------------------
+
+    def load_snapshot(self) -> tuple:
+        """``(worker_load, stream_weight, stream_owner)`` from live stats.
+
+        One ``stats`` fan-out; every weight is ``items_seen +
+        pending_items`` so a stream with a deep unapplied queue counts
+        as the load it is about to become.
+        """
+        worker_load: Dict[str, float] = {}
+        stream_weight: Dict[str, float] = {}
+        stream_owner: Dict[str, str] = {}
+        for name, response in self.router.fan_out({"op": "stats"}).items():
+            stats = response["stats"]
+            worker_load[name] = stats.get("items_seen", 0) + stats.get(
+                "pending_items", 0
+            )
+            for sid, row in stats.get("streams", {}).items():
+                stream_weight[sid] = row.get("items_seen", 0) + row.get(
+                    "pending_items", 0
+                )
+                stream_owner[sid] = name
+        return worker_load, stream_weight, stream_owner
+
+    def plan(self) -> List[Move]:
+        """Up to ``max_moves`` migrations, hottest worker to coldest.
+
+        Each move takes the heaviest stream on the hottest worker whose
+        weight is strictly smaller than the hot/cold gap (so the gap
+        strictly shrinks -- the no-oscillation invariant); loads are
+        updated in-plan so successive moves stay consistent.
+        """
+        worker_load, stream_weight, stream_owner = self.load_snapshot()
+        if len(worker_load) < 2:
+            return []
+        moves: List[Move] = []
+        for _ in range(self.max_moves):
+            hottest = max(worker_load, key=lambda w: (worker_load[w], w))
+            coldest = min(worker_load, key=lambda w: (worker_load[w], w))
+            gap = worker_load[hottest] - worker_load[coldest]
+            if gap <= self.min_gap:
+                break
+            candidates = [
+                (weight, sid)
+                for sid, weight in stream_weight.items()
+                if stream_owner[sid] == hottest and 0 < weight < gap
+            ]
+            if not candidates:
+                break
+            weight, sid = max(candidates)
+            moves.append(
+                Move(
+                    stream=sid,
+                    source=hottest,
+                    target=coldest,
+                    weight=int(weight),
+                )
+            )
+            worker_load[hottest] -= weight
+            worker_load[coldest] += weight
+            stream_owner[sid] = coldest
+        return moves
+
+    # -- execution ------------------------------------------------------------
+
+    def rebalance_once(self) -> List[Move]:
+        """Plan one pass and execute it via :meth:`ClusterRouter.handoff`."""
+        moves = self.plan()
+        for move in moves:
+            self.router.handoff(move.stream, move.target)
+            self.moves_done += 1
+        return moves
+
+    # -- daemon loop ----------------------------------------------------------
+
+    def start(self) -> "Rebalancer":
+        """Run :meth:`rebalance_once` every ``interval`` seconds."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-rebalancer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop (idempotent; joins the thread)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.rebalance_once()
+            except Exception:  # noqa: BLE001 - topology may be mid-change
+                # A pass raced a kill/restart/grow; the next pass reads
+                # fresh stats and plans from the new topology.
+                continue
+
+    def __enter__(self) -> "Rebalancer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -31,6 +31,17 @@ workers: new requests for the stream gate on a router-side lock,
 in-flight appends drain FIFO on the donor (``release`` = drain +
 snapshot + close), the target adopts from shared disk, and an override
 pins the stream to its new home until the ring changes again.
+
+**Self-healing.**  :meth:`restart_worker` is the inverse of a kill: it
+re-spawns a dead (or drains a live) worker under the same name, extends
+the ring, and hands the worker's natural streams back one at a time via
+the same FIFO-drained handoff.  :meth:`grow` adds fresh workers to a
+running cluster and migrates only the minimally-moved keys (the
+consistent-hash property).  Both spawn the new process with
+``--no-recover`` so it starts empty and receives state exclusively
+through handoff -- never by racing the live owners for shared
+checkpoints.  A :class:`~repro.service.cluster.rebalance.Rebalancer`
+can drive :meth:`handoff` continuously from per-worker load statistics.
 """
 
 from __future__ import annotations
@@ -48,9 +59,10 @@ from typing import Dict, Optional, Sequence
 from repro.core.histogram import Histogram
 from repro.exceptions import InvalidParameterError
 from repro.service import wire
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient
 from repro.service.cluster.ring import DEFAULT_REPLICAS, HashRing
 from repro.service.cluster.worker import TENANTS_DIR, port_file, tenants_dir
+from repro.service.errors import UnavailableError
 from repro.service.server import StreamServer
 
 _MANIFEST = "stream.json"
@@ -144,6 +156,10 @@ class ClusterRouter:
     pool_size:
         Pooled backend connections kept per worker (more are created
         under burst and discarded back down to this size).
+    http_port:
+        Mount the HTTP/REST facade (:mod:`repro.service.http`) on this
+        port beside the TCP front (``0`` picks a free port, read back
+        from :attr:`http_port`); ``None`` (the default) serves TCP only.
     """
 
     def __init__(
@@ -159,6 +175,7 @@ class ClusterRouter:
         executor_workers: int = 32,
         pool_size: int = 4,
         worker_timeout: float = 30.0,
+        http_port: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
@@ -166,6 +183,7 @@ class ClusterRouter:
         self.worker_count = workers
         self.host = host
         self._requested_port = port
+        self._requested_http_port = http_port
         self.checkpoint_every = checkpoint_every
         self.replicas = replicas
         self.protocols = protocols
@@ -173,9 +191,12 @@ class ClusterRouter:
         self.pool_size = pool_size
         self.worker_timeout = worker_timeout
         self.server: Optional[StreamServer] = None
+        self.http = None  # Optional[repro.service.http.HttpFrontend]
         self.deaths = 0
         self.adoptions: Dict[str, str] = {}
         self.handoffs = 0
+        self.restarts = 0
+        self.grown = 0
         self._workers: Dict[str, _WorkerLink] = {}
         self._ring: Optional[HashRing] = None
         self._overrides: Dict[str, str] = {}
@@ -235,10 +256,33 @@ class ClusterRouter:
             executor_workers=self.executor_workers,
         )
         self.server.start_in_background()
+        if self._requested_http_port is not None:
+            from repro.service.http import HttpFrontend
+
+            self.http = HttpFrontend(
+                _ProxyEngine(self),
+                host=self.host,
+                port=self._requested_http_port,
+                cluster=self,
+                executor_workers=self.executor_workers,
+            )
+            self.http.start_in_background()
         return self
+
+    @property
+    def http_port(self) -> int:
+        """The REST facade's bound port (requires ``http_port=`` at init)."""
+        if self.http is None:
+            raise InvalidParameterError(
+                "router has no HTTP frontend (pass http_port= to enable it)"
+            )
+        return self.http.port
 
     def stop(self) -> None:
         """Stop the front, then terminate the workers (SIGTERM, then kill)."""
+        if self.http is not None:
+            self.http.stop()
+            self.http = None
         if self.server is not None:
             self.server.stop()
             self.server = None
@@ -259,7 +303,9 @@ class ClusterRouter:
             log.close()
         self._logs.clear()
 
-    def _spawn(self, name: str, ring_names: Sequence[str]) -> subprocess.Popen:
+    def _spawn(
+        self, name: str, ring_names: Sequence[str], *, recover: bool = True
+    ) -> subprocess.Popen:
         import repro
 
         env = dict(os.environ)
@@ -284,6 +330,11 @@ class ClusterRouter:
         ]
         if self.checkpoint_every is not None:
             cmd += ["--checkpoint-every", str(self.checkpoint_every)]
+        if not recover:
+            # Restarted/grown workers start empty: their streams arrive
+            # exclusively via handoff, never by racing the live owners
+            # for the shared checkpoint directories at startup.
+            cmd += ["--no-recover"]
         log = open(
             os.path.join(self.cluster_dir, "workers", f"{name}.log"), "ab"
         )
@@ -373,14 +424,13 @@ class ClusterRouter:
             self._adopt_from(link)
             return True
 
-    def _adopt_from(self, dead: _WorkerLink) -> None:
+    def _adopt_from(self, dead: _WorkerLink, *, count_death: bool = True) -> None:
         """Reassign every stream of a dead worker to the survivors."""
         dead.dead = True
         dead.close_pool()
         if len(self._ring) <= 1:
-            raise ServiceError(
-                "unavailable",
-                f"worker {dead.name} died and no workers remain",
+            raise UnavailableError(
+                f"worker {dead.name} died and no workers remain"
             )
         orphans = [
             sid
@@ -391,7 +441,8 @@ class ClusterRouter:
         for sid, target in list(self._overrides.items()):
             if target == dead.name:
                 del self._overrides[sid]
-        self.deaths += 1
+        if count_death:
+            self.deaths += 1
         for sid in orphans:
             new_owner = self.owner_of(sid)
             self._workers[new_owner].call({"op": "adopt", "stream": sid})
@@ -446,9 +497,178 @@ class ClusterRouter:
             source_link.call({"op": "release", "stream": stream_id})
             target_link.call({"op": "adopt", "stream": stream_id})
             with self._topology_lock:
-                self._overrides[stream_id] = target
+                if self._ring.node_for(stream_id) == target:
+                    # The ring already places the stream here (a handback
+                    # after restart/grow): no pin needed, and dropping a
+                    # stale one lets future ring changes move the key.
+                    self._overrides.pop(stream_id, None)
+                else:
+                    self._overrides[stream_id] = target
                 self.handoffs += 1
             return source
+
+    # -- self-healing (restart, growth) ---------------------------------------
+
+    def _pin_then_extend(self, new_ring: HashRing, joining: set) -> list:
+        """Swap in an extended ring without moving any key implicitly.
+
+        Every manifested stream whose owner *would* change is first
+        pinned (override) to its current owner, so requests keep routing
+        to the live state while the caller hands each moved stream off
+        one at a time.  Returns ``[(stream_id, new_owner), ...]`` for the
+        caller to drive through :meth:`handoff`.  Caller must hold the
+        topology lock.
+        """
+        moved = []
+        for sid in self._manifested_streams():
+            current = self.owner_of(sid)
+            target = new_ring.node_for(sid)
+            if target != current and target in joining:
+                self._overrides[sid] = current
+                moved.append((sid, target))
+        self._ring = new_ring
+        return moved
+
+    def restart_worker(self, name: str) -> dict:
+        """Re-spawn a dead (or drain and recycle a live) worker.
+
+        The inverse of :meth:`kill_worker` + adoption: the worker comes
+        back under its old name with an empty engine (``--no-recover``),
+        rejoins the ring, and every stream the extended ring assigns to
+        it is handed back via the FIFO-drained :meth:`handoff` -- so at
+        no point do two processes own one checkpoint directory.  If the
+        process is still alive it is drained first (SIGTERM, survivors
+        adopt) -- a rolling-restart primitive.  Returns ``{"worker":
+        name, "moved": [stream, ...]}``.
+        """
+        with self._topology_lock:
+            link = self._workers.get(name)
+            if link is None:
+                raise InvalidParameterError(
+                    f"unknown worker {name!r}; known: "
+                    f"{sorted(self._workers)}"
+                )
+            if not link.dead:
+                process = link.process
+                was_alive = process is not None and process.poll() is None
+                if was_alive:
+                    process.terminate()
+                    try:
+                        process.wait(timeout=10.0)
+                    except subprocess.TimeoutExpired:  # pragma: no cover
+                        process.kill()
+                        process.wait(timeout=10.0)
+                # A graceful drain is not a death; an undetected crash is.
+                self._adopt_from(link, count_death=not was_alive)
+            ring_names = tuple(sorted(set(self._ring.nodes) | {name}))
+        # Spawn outside the topology lock: waiting for the endpoint can
+        # take seconds, and other streams' traffic must keep flowing.
+        try:
+            os.unlink(port_file(self.cluster_dir, name))
+        except FileNotFoundError:
+            pass
+        process = self._spawn(name, ring_names, recover=False)
+        port = self._await_endpoint(name, process)
+        with self._topology_lock:
+            self._workers[name] = _WorkerLink(
+                name,
+                self.host,
+                port,
+                process,
+                pool_size=self.pool_size,
+                timeout=self.worker_timeout,
+            )
+            moved = self._pin_then_extend(self._ring.extend(name), {name})
+            self.restarts += 1
+        for sid, target in moved:
+            self.handoff(sid, target)
+        return {"worker": name, "moved": [sid for sid, _ in moved]}
+
+    def grow(self, count: int = 1) -> dict:
+        """Add ``count`` fresh workers to the live ring.
+
+        Only the minimally-moved keys migrate (the consistent-hash
+        property: a key moves only if its new natural owner is one of
+        the joining nodes), each via the FIFO-drained :meth:`handoff`.
+        Returns ``{"workers": [names...], "moved": [stream, ...]}``.
+        """
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        with self._topology_lock:
+            taken = set(self._workers) | set(self._ring.nodes)
+            names = []
+            i = 0
+            while len(names) < count:
+                candidate = f"w{i}"
+                i += 1
+                if candidate not in taken:
+                    names.append(candidate)
+                    taken.add(candidate)
+            ring_names = tuple(sorted(set(self._ring.nodes) | set(names)))
+        spawned: Dict[str, subprocess.Popen] = {}
+        try:
+            for name in names:
+                try:
+                    os.unlink(port_file(self.cluster_dir, name))
+                except FileNotFoundError:
+                    pass
+                spawned[name] = self._spawn(name, ring_names, recover=False)
+            ports = {
+                name: self._await_endpoint(name, process)
+                for name, process in spawned.items()
+            }
+        except BaseException:
+            for process in spawned.values():
+                process.kill()
+            raise
+        with self._topology_lock:
+            new_ring = self._ring
+            for name in names:
+                self._workers[name] = _WorkerLink(
+                    name,
+                    self.host,
+                    ports[name],
+                    spawned[name],
+                    pool_size=self.pool_size,
+                    timeout=self.worker_timeout,
+                )
+                new_ring = new_ring.extend(name)
+            moved = self._pin_then_extend(new_ring, set(names))
+            self.grown += count
+        for sid, target in moved:
+            self.handoff(sid, target)
+        return {"workers": names, "moved": [sid for sid, _ in moved]}
+
+    def cluster_view(self) -> dict:
+        """Ring topology + per-worker load (the ``GET /v1/cluster`` body).
+
+        Per-worker load is taken from a live ``stats`` fan-out:
+        ``streams`` (owned stream count), ``items_seen`` and
+        ``pending_items`` (queue depth) -- the same signals the
+        :class:`~repro.service.cluster.rebalance.Rebalancer` plans from.
+        """
+        per_worker: Dict[str, dict] = {}
+        for name, response in sorted(self.fan_out({"op": "stats"}).items()):
+            stats = response["stats"]
+            streams = stats.get("streams", {})
+            per_worker[name] = {
+                "streams": len(streams),
+                "items_seen": stats.get("items_seen", 0),
+                "pending_items": stats.get("pending_items", 0),
+                "appends": stats.get("appends", 0),
+                "queries": stats.get("queries", 0),
+            }
+        with self._topology_lock:
+            return {
+                "workers": per_worker,
+                "ring": list(self.workers()),
+                "overrides": dict(self._overrides),
+                "deaths": self.deaths,
+                "restarts": self.restarts,
+                "grown": self.grown,
+                "handoffs": self.handoffs,
+                "adoptions": dict(self.adoptions),
+            }
 
     # -- request routing (called from the front's executor threads) ----------
 
@@ -468,12 +688,11 @@ class ClusterRouter:
                     return client.append(stream_id, values, **config).accepted
             except _LINK_ERRORS as exc:
                 self._note_failure(link)
-                raise ServiceError(
-                    "unavailable",
+                raise UnavailableError(
                     f"worker {link.name} failed mid-append on stream "
                     f"{stream_id!r} ({type(exc).__name__}: {exc}); the "
                     "batch is either fully applied or fully absent; the "
-                    "stream has a new owner -- continue appending",
+                    "stream has a new owner -- continue appending"
                 ) from exc
 
     def call_stream(self, stream_id: str, payload: dict, *, gate: bool = True):
@@ -493,10 +712,9 @@ class ClusterRouter:
                 last = exc
                 if not self._note_failure(link):
                     break
-        raise ServiceError(
-            "unavailable",
+        raise UnavailableError(
             f"no worker could serve {payload.get('op')!r} for stream "
-            f"{stream_id!r} ({type(last).__name__}: {last})",
+            f"{stream_id!r} ({type(last).__name__}: {last})"
         ) from last
 
     def fan_out(self, payload: dict) -> Dict[str, dict]:
@@ -507,10 +725,9 @@ class ClusterRouter:
                 out[link.name] = link.call(payload)
             except _LINK_ERRORS as exc:
                 if not self._note_failure(link):
-                    raise ServiceError(
-                        "unavailable",
+                    raise UnavailableError(
                         f"worker {link.name} unreachable during "
-                        f"{payload.get('op')!r} ({exc})",
+                        f"{payload.get('op')!r} ({exc})"
                     ) from exc
         return out
 
@@ -608,6 +825,8 @@ class _ProxyEngine:
         merged["cluster"] = {
             "workers": list(router.workers()),
             "deaths": router.deaths,
+            "restarts": router.restarts,
+            "grown": router.grown,
             "adoptions": dict(router.adoptions),
             "handoffs": router.handoffs,
             "overrides": dict(router._overrides),

@@ -61,17 +61,30 @@ def build_worker(
     checkpoint_every: Optional[int] = None,
     replicas: int = DEFAULT_REPLICAS,
     max_pending: int = 1_000_000,
+    recover: bool = True,
 ) -> tuple[StreamEngine, StreamServer]:
-    """Engine + (unstarted) server for one shard; shared by CLI and tests."""
+    """Engine + (unstarted) server for one shard; shared by CLI and tests.
+
+    ``recover=False`` (the router's ``--no-recover``) starts the engine
+    empty even when the ring would assign it manifested streams: a
+    restarted or newly-grown worker must receive state only through
+    explicit ``adopt`` requests (handoff), never by racing the current
+    live owners for the shared checkpoint directories at startup.
+    """
     ring = HashRing(ring_nodes, replicas=replicas)
     if name not in ring:
         raise SystemExit(f"worker name {name!r} is not on the ring {ring.nodes}")
+    owns = (
+        (lambda stream_id: ring.node_for(stream_id) == name)
+        if recover
+        else (lambda stream_id: False)
+    )
     engine = StreamEngine(
         checkpoint_dir=tenants_dir(cluster_dir),
         checkpoint_every=checkpoint_every,
         workers=0,  # inline apply: acknowledged => journaled (zero-loss)
         max_pending=max_pending,
-        owns=lambda stream_id: ring.node_for(stream_id) == name,
+        owns=owns,
     )
     server = StreamServer(engine, host=host, port=0, protocols=wire.ALL_PROTOCOLS)
     return engine, server
@@ -101,6 +114,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--checkpoint-every", type=int, default=None)
     parser.add_argument("--replicas", type=int, default=DEFAULT_REPLICAS)
     parser.add_argument("--max-pending", type=int, default=1_000_000)
+    parser.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="start empty; state arrives only via adopt (restart/grow)",
+    )
     args = parser.parse_args(argv)
 
     engine, server = build_worker(
@@ -111,6 +129,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checkpoint_every=args.checkpoint_every,
         replicas=args.replicas,
         max_pending=args.max_pending,
+        recover=not args.no_recover,
     )
 
     def _terminate(signum, frame):  # noqa: ANN001 - signal signature

@@ -54,6 +54,7 @@ from repro.exceptions import (
     EmptySummaryError,
     InvalidParameterError,
     ReproError,
+    UnknownStreamError,
 )
 from repro.observability.hooks import SummaryMetrics, resolve_metrics
 from repro.observability.metrics import MetricsRegistry
@@ -839,7 +840,7 @@ class StreamEngine:
     def _tenant(self, stream_id: str) -> _Tenant:
         tenant = self._tenants.get(stream_id)
         if tenant is None:
-            raise InvalidParameterError(
+            raise UnknownStreamError(
                 f"unknown stream {stream_id!r}; known streams: "
                 f"{', '.join(self.streams()) or '(none)'}"
             )

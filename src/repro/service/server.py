@@ -25,11 +25,14 @@ exactly as before.
 Operations: ``hello``, ``append`` (creates the stream on first use from
 the request's config), ``query``, ``stats``, ``checkpoint``,
 ``streams``, ``ping``.  Errors come back as ``{"ok": false, "error":
-<code>, "message": ...}`` with codes ``backpressure`` (queue bound hit
--- back off and retry), ``invalid`` (bad parameters / unknown stream),
+<code>, "message": ...}`` with the codes of the unified taxonomy
+(:mod:`repro.service.errors`, shared with the HTTP facade):
+``backpressure`` (queue bound hit -- back off and retry), ``invalid``
+(bad parameters), ``unknown-stream`` (the stream id is not registered),
 ``empty`` (query before any data), ``bad-request`` (malformed JSON,
 malformed binary frame, missing fields, non-finite values),
-``unknown-op``, and ``internal``.  In binary mode a *framing* error
+``unknown-op``, ``unavailable`` (cluster worker failed mid-request),
+and ``internal``.  In binary mode a *framing* error
 (bad magic, bad version, oversized length) additionally closes the
 connection: a desynchronized byte stream cannot be re-synchronized.
 
@@ -48,14 +51,10 @@ import threading
 from math import isfinite
 from typing import Optional, Sequence
 
-from repro.exceptions import (
-    BackpressureError,
-    EmptySummaryError,
-    InvalidParameterError,
-    ReproError,
-)
+from repro.exceptions import InvalidParameterError, ReproError
 from repro.service import wire
 from repro.service.engine import StreamEngine
+from repro.service.errors import classify_exception
 
 #: Refuse request lines longer than this many bytes (a malformed or
 #: hostile client should not buffer unbounded memory server-side).
@@ -365,31 +364,21 @@ class StreamServer:
         return await self._run_handler(handler, request)
 
     async def _run_handler(self, handler, *args) -> tuple[bool, dict]:
-        """Run an engine-touching handler on the executor; map errors."""
-        from repro.service.client import ServiceError
+        """Run an engine-touching handler on the executor; map errors.
 
+        The exception -> code mapping is
+        :func:`repro.service.errors.classify_exception` -- the single
+        taxonomy shared with the HTTP facade, so every transport
+        classifies the same failure identically (a proxied backend's
+        :class:`~repro.service.errors.ServiceError` forwards its code
+        instead of being flattened to ``internal``).
+        """
         loop = asyncio.get_running_loop()
         try:
             payload = await loop.run_in_executor(None, handler, *args)
-        except BackpressureError as exc:
-            return False, {"error": "backpressure", "message": str(exc)}
-        except EmptySummaryError as exc:
-            return False, {"error": "empty", "message": str(exc)}
-        except ServiceError as exc:
-            # A proxied backend already classified this error (the
-            # cluster router fronts workers through ServiceClient);
-            # forward its code instead of flattening it to "internal".
-            return False, {"error": exc.code, "message": str(exc)}
-        except (InvalidParameterError, KeyError, TypeError) as exc:
-            return False, {
-                "error": "invalid",
-                "message": f"{type(exc).__name__}: {exc}",
-            }
-        except ReproError as exc:  # pragma: no cover - defensive
-            return False, {
-                "error": "internal",
-                "message": f"{type(exc).__name__}: {exc}",
-            }
+        except (ReproError, KeyError, TypeError) as exc:
+            code, message = classify_exception(exc)
+            return False, {"error": str(code), "message": message}
         return True, payload
 
     # -- operations (run on executor threads) -------------------------------

@@ -31,13 +31,24 @@ class StreamHandle:
     Handles are cheap and stateless (all state lives in the engine), so
     they may be created freely, shared across threads, and re-fetched by
     name at any time via ``session.stream(stream_id)``.
+
+    Handles are also context managers::
+
+        with session.stream("sku-42", method="min-merge") as sku:
+            sku.append(prices)
+
+    Exiting calls :meth:`close`, which checkpoints the stream when its
+    engine is durable and is idempotent -- a closed handle may be closed
+    again freely (the stream itself stays registered; handles are views,
+    not owners).
     """
 
-    __slots__ = ("_engine", "_tenant")
+    __slots__ = ("_engine", "_tenant", "_closed")
 
     def __init__(self, engine: StreamEngine, tenant) -> None:
         self._engine = engine
         self._tenant = tenant
+        self._closed = False
 
     @property
     def stream_id(self) -> str:
@@ -83,6 +94,28 @@ class StreamHandle:
         result = self._engine.checkpoint(self._tenant.stream_id)
         return result[self._tenant.stream_id]
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "StreamHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Checkpoint a durable stream and mark the handle closed.
+
+        Idempotent: only the first call snapshots; later calls (and
+        closing a non-durable stream) are no-ops.  The stream itself
+        stays registered -- handles are views, not owners -- so a fresh
+        handle may be fetched by name at any time.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if getattr(self._tenant, "store", None) is not None:
+            self._engine.checkpoint(self._tenant.stream_id)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"StreamHandle({self.stream_id!r}, method={self.method!r}, "
@@ -112,6 +145,7 @@ class Session:
                 "pass either an existing engine or engine kwargs, not both"
             )
         self._owned = engine is None
+        self._closed = False
         self.engine = engine if engine is not None else StreamEngine(
             **engine_kwargs
         )
@@ -123,7 +157,14 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Close the session (and its engine, when privately owned)."""
+        """Close the session (and its engine, when privately owned).
+
+        Idempotent: closing an already-closed session is a no-op, so
+        ``with`` blocks compose with explicit ``close()`` calls.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._owned:
             self.engine.close()
 

@@ -183,6 +183,29 @@ def encode_append_payload(meta: dict, values: np.ndarray) -> tuple[bytes, memory
     return head, memoryview(arr).cast("B")
 
 
+def decode_values(buffer: Union[bytes, bytearray, memoryview]) -> np.ndarray:
+    """Zero-copy float64 view over a raw little-endian value region.
+
+    The shared tail of every raw-value ingest path: the ``OP_APPEND``
+    frame decoder below and the HTTP facade's
+    ``application/octet-stream`` append bodies
+    (:mod:`repro.service.http`) both map the bytes with
+    ``numpy.frombuffer`` -- read-only, no copy, no per-item boxing.
+    Raises :class:`WireError` when the region is not a whole number of
+    float64s or contains non-finite (NaN/inf) values.
+    """
+    view = memoryview(buffer)
+    if len(view) % VALUE_DTYPE.itemsize:
+        raise WireError(
+            f"value region of {len(view)} bytes is not a whole number "
+            f"of float64 values"
+        )
+    values = np.frombuffer(view, dtype=VALUE_DTYPE)
+    if values.size and not bool(np.isfinite(values).all()):
+        raise WireError("append payload contains non-finite (NaN/inf) values")
+    return values
+
+
 def decode_append_payload(
     payload: Union[bytes, bytearray, memoryview],
 ) -> tuple[dict, np.ndarray]:
@@ -207,16 +230,7 @@ def decode_append_payload(
     meta = decode_json_payload(view[_META_LEN.size : value_off])
     if "stream" not in meta:
         raise WireError('append meta must carry a "stream" id')
-    value_bytes = len(view) - value_off
-    if value_bytes % VALUE_DTYPE.itemsize:
-        raise WireError(
-            f"value region of {value_bytes} bytes is not a whole number "
-            f"of float64 values"
-        )
-    values = np.frombuffer(view[value_off:], dtype=VALUE_DTYPE)
-    if values.size and not bool(np.isfinite(values).all()):
-        raise WireError("append payload contains non-finite (NaN/inf) values")
-    return meta, values
+    return meta, decode_values(view[value_off:])
 
 
 def negotiate(client_protocols, server_protocols) -> Optional[int]:

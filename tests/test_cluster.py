@@ -16,12 +16,15 @@ Covers the routing and durability invariants the cluster is built on:
 """
 
 import collections
+import threading
+import time
 
 import pytest
 
 from repro.api import summarize
 from repro.exceptions import InvalidParameterError
 from repro.service import ClusterRouter, ServiceClient, StreamEngine
+from repro.service.cluster.rebalance import Rebalancer
 from repro.service.cluster.ring import HashRing, stable_hash
 
 
@@ -248,3 +251,241 @@ class TestClusterRouter:
                 assert victim not in stats["workers"]
                 for sid in orphans:
                     assert stats["adoptions"][sid] != victim
+
+
+# -- self-healing: restart and ring growth -------------------------------------
+
+
+class TestSelfHealing:
+    def test_restart_worker_hands_streams_back(self, tmp_path):
+        streams = {f"r{i}": _dataset(900, seed=20 + i) for i in range(6)}
+        with ClusterRouter(tmp_path, workers=3) as router:
+            with ServiceClient(port=router.port) as client:
+                for sid, values in streams.items():
+                    client.append(
+                        sid, values[:500], method="min-merge",
+                        buckets=16, universe=512,
+                    )
+                victim = router.owner_of(next(iter(streams)))
+                natural = [
+                    sid for sid in streams if router.owner_of(sid) == victim
+                ]
+                assert natural
+                router.kill_worker(victim)
+                # restart_worker detects the undetected crash itself:
+                # adoption, re-spawn, ring extension, handoff home.
+                result = router.restart_worker(victim)
+                assert result["worker"] == victim
+                assert set(result["moved"]) == set(natural)
+                assert victim in router.workers()
+                for sid in natural:
+                    assert router.owner_of(sid) == victim
+                # The handback dropped the pins: no overrides linger.
+                assert not router._overrides
+                for sid, values in streams.items():
+                    client.append(
+                        sid, values[500:], method="min-merge",
+                        buckets=16, universe=512,
+                    )
+                for sid, values in streams.items():
+                    served = client.query(sid, drain=True).histogram
+                    oracle = summarize(values, 16, method="min-merge")
+                    assert _same_histogram(served, oracle), sid
+                    assert served.meta.items_seen == len(values)
+                stats = client.stats().data["cluster"]
+                assert stats["deaths"] == 1
+                assert stats["restarts"] == 1
+
+    def test_graceful_restart_is_not_a_death(self, tmp_path):
+        values = _dataset(1200, seed=31)
+        with ClusterRouter(tmp_path, workers=2) as router:
+            with ServiceClient(port=router.port) as client:
+                client.append(
+                    "g", values[:700], method="min-merge",
+                    buckets=16, universe=512,
+                )
+                owner = router.owner_of("g")
+                # Rolling restart of a *live* worker: drain, recycle.
+                router.restart_worker(owner)
+                client.append(
+                    "g", values[700:], method="min-merge",
+                    buckets=16, universe=512,
+                )
+                served = client.query("g", drain=True).histogram
+                assert _same_histogram(
+                    served, summarize(values, 16, method="min-merge")
+                )
+                stats = client.stats().data["cluster"]
+                assert stats["deaths"] == 0
+                assert stats["restarts"] == 1
+
+    def test_grow_migrates_only_minimal_keys(self, tmp_path):
+        streams = {f"x{i}": _dataset(800, seed=40 + i) for i in range(8)}
+        with ClusterRouter(tmp_path, workers=2) as router:
+            with ServiceClient(port=router.port) as client:
+                for sid, values in streams.items():
+                    client.append(
+                        sid, values[:400], method="min-merge",
+                        buckets=16, universe=512,
+                    )
+                before = {sid: router.owner_of(sid) for sid in streams}
+                result = router.grow(1)
+                (joined,) = result["workers"]
+                assert joined not in before.values()
+                assert joined in router.workers()
+                moved = set(result["moved"])
+                for sid in streams:
+                    after = router.owner_of(sid)
+                    if sid in moved:
+                        # Moved keys go only *to* the joining node.
+                        assert after == joined
+                    else:
+                        # The consistent-hash property, live: everything
+                        # else stays exactly where it was.
+                        assert after == before[sid]
+                for sid, values in streams.items():
+                    client.append(
+                        sid, values[400:], method="min-merge",
+                        buckets=16, universe=512,
+                    )
+                for sid, values in streams.items():
+                    served = client.query(sid, drain=True).histogram
+                    oracle = summarize(values, 16, method="min-merge")
+                    assert _same_histogram(served, oracle), sid
+                stats = client.stats().data["cluster"]
+                assert stats["grown"] == 1
+                assert stats["deaths"] == 0
+
+
+# -- load-driven auto-rebalancing ----------------------------------------------
+
+
+class TestRebalancer:
+    def test_rebalance_moves_hot_stream_off_most_loaded_worker(self, tmp_path):
+        with ClusterRouter(tmp_path, workers=3) as router:
+            with ServiceClient(port=router.port) as client:
+                # Seed 9 small streams, then inflate every stream of one
+                # worker so it is unambiguously the hottest.
+                data = {}
+                for i in range(9):
+                    sid = f"h{i}"
+                    data[sid] = _dataset(100, seed=50 + i)
+                    client.append(
+                        sid, data[sid], method="min-merge",
+                        buckets=16, universe=512,
+                    )
+                by_owner = collections.Counter(
+                    router.owner_of(sid) for sid in data
+                )
+                hot_worker = by_owner.most_common(1)[0][0]
+                hot_streams = [
+                    sid for sid in data if router.owner_of(sid) == hot_worker
+                ]
+                assert len(hot_streams) >= 2
+                for sid in hot_streams:
+                    extra = [v % 512 for v in range(700)]
+                    data[sid] = data[sid] + extra
+                    client.append(sid, extra)
+                client.query(hot_streams[0], drain=True)
+
+                rebalancer = Rebalancer(router, max_moves=1)
+                worker_load, _weights, _owners = rebalancer.load_snapshot()
+                assert max(worker_load, key=worker_load.get) == hot_worker
+                moves = rebalancer.rebalance_once()
+                assert len(moves) == 1
+                (move,) = moves
+                assert move.source == hot_worker
+                assert router.owner_of(move.stream) == move.target
+                # The migrated stream is bit-identical on its new owner.
+                served = client.query(move.stream, drain=True).histogram
+                oracle = summarize(data[move.stream], 16, method="min-merge")
+                assert _same_histogram(served, oracle)
+                # The gap strictly shrank: a second snapshot agrees.
+                after_load, _w, _o = rebalancer.load_snapshot()
+                assert (
+                    max(after_load.values()) - min(after_load.values())
+                    < max(worker_load.values()) - min(worker_load.values())
+                )
+
+    def test_balanced_cluster_plans_no_moves(self, tmp_path):
+        with ClusterRouter(tmp_path, workers=2) as router:
+            with ServiceClient(port=router.port) as client:
+                client.append(
+                    "only", _dataset(400, seed=60), method="min-merge",
+                    buckets=16, universe=512,
+                )
+                client.query("only", drain=True)
+                # One stream: moving it cannot strictly shrink the gap
+                # (weight == gap), so the planner must stay put.
+                assert Rebalancer(router).plan() == []
+
+    def test_daemon_loop_start_stop(self, tmp_path):
+        with ClusterRouter(tmp_path, workers=2) as router:
+            with Rebalancer(router, interval=0.05) as rebalancer:
+                time.sleep(0.2)  # a few no-op passes on an empty cluster
+            assert rebalancer.moves_done == 0
+
+
+# -- acceptance: mixed-transport load across kill/restart/grow -----------------
+
+
+class TestSelfHealingUnderLoad:
+    def test_mixed_rest_binary_load_survives_kill_restart_grow(self, tmp_path):
+        """The PR's acceptance run (``ISSUE``): REST + binary + JSON
+        clients drive a 3-worker cluster while a worker is SIGKILL'd,
+        restarted, and the ring grown -- zero acked appends lost, final
+        state bit-identical to the serial oracle."""
+        from repro.loadgen import LoadGenerator, verify_report
+
+        with ClusterRouter(tmp_path, workers=3, http_port=0) as router:
+            gen = LoadGenerator(
+                port=router.port,
+                http_port=router.http_port,
+                clients=9,
+                batches_per_client=9,
+                batch_size=60,
+                buckets=16,
+                universe=512,
+                transports=("binary", "rest", "json"),
+                query_every=4,
+            )
+            total = gen.clients * gen.batches_per_client
+            victim = router.workers()[0]
+            chaos_done = threading.Event()
+            chaos_error = []
+
+            def chaos():
+                try:
+                    deadline = time.monotonic() + 60.0
+                    while (
+                        gen.batches_done < total // 3
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.01)
+                    router.kill_worker(victim)
+                    router.restart_worker(victim)
+                    router.grow(1)
+                except BaseException as exc:  # surfaced after join
+                    chaos_error.append(exc)
+                finally:
+                    chaos_done.set()
+
+            thread = threading.Thread(target=chaos, daemon=True)
+            thread.start()
+            report = gen.run()
+            assert chaos_done.wait(timeout=120.0)
+            thread.join(timeout=10.0)
+            assert not chaos_error, chaos_error
+
+            # Every stream's served state matches a consistent ledger
+            # interpretation: zero acknowledged appends were lost, no
+            # batch was torn -- across kill, restart, and growth.
+            matches = verify_report(report, buckets=16)
+            assert len(matches) == gen.clients
+
+            with ServiceClient(port=router.port) as client:
+                stats = client.stats().data["cluster"]
+            assert stats["restarts"] == 1
+            assert stats["grown"] == 1
+            assert victim in stats["workers"]
+            assert len(stats["workers"]) == 4

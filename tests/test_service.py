@@ -403,22 +403,25 @@ class TestWireProtocol:
         assert stats.get("method") == "min-merge"
         assert client.streams() == ("s1",)
 
-    def test_request_shim_is_deprecated_but_works(self, service):
+    def test_request_shim_is_retired(self, service):
         client, _engine, _server = service
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            response = client.request(
-                {"op": "append", "stream": "d", "values": [1, 2],
-                 "method": "min-merge", "buckets": 4}
-            )
+        # The v1 dict shim completed its deprecation window: it raises
+        # TypeError naming the replacement, and sends nothing.
+        with pytest.raises(TypeError, match="client.transport.call"):
+            client.request({"op": "streams"})
+        # Raw request objects still have an explicit escape hatch.
+        response = client.transport.call(
+            {"op": "append", "stream": "d", "values": [1, 2],
+             "method": "min-merge", "buckets": 4}
+        )
         assert response["accepted"] == 2
-        with pytest.warns(DeprecationWarning):
-            assert client.request({"op": "streams"})["streams"] == ["d"]
+        assert client.transport.call({"op": "streams"})["streams"] == ["d"]
 
     def test_error_codes(self, service):
         client, _engine, _server = service
         with pytest.raises(ServiceError) as excinfo:
             client.query("missing")
-        assert excinfo.value.code == "invalid"
+        assert excinfo.value.code == "unknown-stream"
         client.append("e", [], method="min-merge", buckets=4)
         with pytest.raises(ServiceError) as excinfo:
             client.query("e")
@@ -454,11 +457,10 @@ class TestWireProtocol:
             "error": "bad-request",
             "message": "request is not valid JSON",
         }
-        # An op-less payload passes through the deprecated shim untouched
-        # and earns the server's bad-request, exactly as in v1.
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ServiceError) as excinfo:
-                client.request({"no-op": 1})
+        # An op-less payload sent raw through the transport earns the
+        # server's bad-request, exactly as in v1.
+        with pytest.raises(ServiceError) as excinfo:
+            client.transport.call({"no-op": 1})
         assert excinfo.value.code == "bad-request"
 
     def test_wire_backpressure_code(self):
